@@ -1,0 +1,88 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints the same rows the paper reports for its figure:
+// measured CPU numbers where the substrate permits and simulated-GPU
+// numbers (cost model parameterized by Table III) for the cross-GPU
+// results. Problem sizes default to laptop-friendly values; --full runs
+// the paper's exact sizes.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "core/nmspmm.hpp"
+#include "gpusim/cost_model.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/llama_shapes.hpp"
+
+namespace nmspmm::bench {
+
+/// The four evaluation sparsity levels plus the 0% control (Fig. 7/8).
+inline std::vector<NMConfig> paper_sparsities(bool include_zero) {
+  std::vector<NMConfig> configs;
+  if (include_zero) configs.push_back(kSparsity0);
+  configs.insert(configs.end(),
+                 {kSparsity50, kSparsity625, kSparsity75, kSparsity875});
+  return configs;
+}
+
+inline std::string sparsity_label(const NMConfig& cfg) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", cfg.sparsity() * 100.0);
+  return buf;
+}
+
+/// Measured wall-clock seconds of one plan execution (median of repeats).
+inline double measure_plan(const SpmmPlan& plan, ConstViewF A, ViewF C,
+                           double min_seconds = 0.15) {
+  return time_callable([&] { plan.execute(A, C); }, 1, 3, min_seconds).median;
+}
+
+/// A fully prepared measured problem instance.
+struct MeasuredProblem {
+  MatrixF a;
+  std::shared_ptr<const CompressedNM> weights;
+  MatrixF c;
+  double flops = 0.0;
+};
+
+inline MeasuredProblem make_problem(index_t m, index_t n, index_t k,
+                                    const NMConfig& cfg, Rng& rng) {
+  MeasuredProblem p;
+  p.a = random_matrix(m, k, rng);
+  p.weights = std::make_shared<const CompressedNM>(
+      random_compressed(k, n, cfg, rng));
+  p.c = MatrixF(m, n);
+  p.flops = spmm_flops(m, n, p.weights->rows());
+  return p;
+}
+
+/// Cost-model prediction for NM-SpMM with the paper's auto choices.
+inline gpusim::CostBreakdown predict_nmspmm(const gpusim::GpuSpec& gpu,
+                                            index_t m, index_t n, index_t k,
+                                            const NMConfig& cfg,
+                                            KernelVariant variant =
+                                                KernelVariant::kV3) {
+  gpusim::CostInputs in;
+  in.gpu = gpu;
+  in.m = m;
+  in.n = n;
+  in.k = k;
+  in.cfg = cfg;
+  in.params = table1_preset(classify_size(m, n, k));
+  in.variant = variant;
+  in.packed = variant != KernelVariant::kV1 && cfg.is_high_sparsity();
+  if (variant == KernelVariant::kV2) in.packed = true;
+  in.packing_ratio = gpusim::expected_packing_ratio(cfg, in.params.ns);
+  return gpusim::predict(in);
+}
+
+inline void print_table(const ResultTable& table) {
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace nmspmm::bench

@@ -1,0 +1,81 @@
+// Figure 10: roofline analysis on the A100 at m = n = k = 4096 for the
+// four sparsity levels, NM-SpMM vs the nmSPARSE-like baseline.
+//
+// The x-axis is the Eq. 3 arithmetic intensity (elementwise, as the
+// paper plots it); the compute roof is the NCU-locked 14.7 TFLOPS. The
+// paper reports NM-SpMM at 96/93/95/88% of that roof and nmSPARSE at
+// 64/63/49/73%.
+#include "analysis/arithmetic_intensity.hpp"
+#include "analysis/roofline.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace nmspmm;
+using namespace nmspmm::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig10_roofline", "Figure 10 roofline on A100");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto gpu = gpusim::a100_80g();
+  const index_t s = 4096;
+  std::cout << "=== Figure 10: roofline on " << gpu.name << " (m=n=k=" << s
+            << ") ===\n";
+  std::cout << "CUDA-core roof (sustained): " << gpu.sustained_fp32_tflops
+            << " TFLOPS, ridge at "
+            << ResultTable::fmt(gpu.sustained_ridge_point(), 2)
+            << " FLOP/B\n\n";
+
+  ResultTable table({"Sparsity", "kernel", "AI (Eq.3)", "AI FLOP/B",
+                     "attainable TFLOPS", "model TFLOPS", "% of roof",
+                     "bound"});
+  for (const NMConfig& cfg : paper_sparsities(false)) {
+    // NM-SpMM: Table I large preset, packing above the threshold.
+    BlockingParams ours = table1_preset(SizeClass::kLarge);
+    ours.ks = derive_ks(cfg, ours.ms, ours.ns,
+                        static_cast<std::size_t>(gpu.max_smem_bytes_per_sm),
+                        s);
+    const bool packed = cfg.is_high_sparsity();
+    const double ratio =
+        packed ? gpusim::expected_packing_ratio(cfg, ours.ns) : 1.0;
+    const double ai_ours =
+        analysis::block_arithmetic_intensity(ours, cfg, ratio);
+    const auto roof_ours =
+        analysis::roofline_at(gpu, ai_ours / sizeof(float));
+    // Project the model's efficiency onto the sustained (clock-locked)
+    // roof, the frame NCU measurements and the paper's Figure 10 use.
+    const auto model_ours = predict_nmspmm(gpu, s, s, s, cfg);
+    const double tflops_ours =
+        model_ours.efficiency * gpu.sustained_fp32_tflops;
+    const double pct_ours = 100.0 * model_ours.efficiency;
+    table.add_row(
+        {sparsity_label(cfg), "NM-SpMM", ResultTable::fmt(ai_ours, 1),
+         ResultTable::fmt(ai_ours / sizeof(float), 2),
+         ResultTable::fmt(roof_ours.attainable_tflops, 1),
+         ResultTable::fmt(tflops_ours, 1),
+         ResultTable::fmt(std::min(pct_ours, 100.0), 0),
+         roof_ours.bound == analysis::Bound::kCompute ? "compute" : "memory"});
+
+    // nmSPARSE-like: single-window chunks, small tiles, no packing.
+    BlockingParams nms{32, 32, cfg.m, 4, 4, 16, 32};
+    const double ai_nms = analysis::block_arithmetic_intensity(nms, cfg);
+    const auto roof_nms = analysis::roofline_at(gpu, ai_nms / sizeof(float));
+    const auto model_nms = gpusim::predict_nmsparse(gpu, s, s, s, cfg);
+    const double tflops_nms =
+        model_nms.efficiency * gpu.sustained_fp32_tflops;
+    const double pct_nms = 100.0 * model_nms.efficiency;
+    table.add_row(
+        {sparsity_label(cfg), "nmSPARSE-like", ResultTable::fmt(ai_nms, 1),
+         ResultTable::fmt(ai_nms / sizeof(float), 2),
+         ResultTable::fmt(roof_nms.attainable_tflops, 1),
+         ResultTable::fmt(tflops_nms, 1),
+         ResultTable::fmt(std::min(pct_nms, 100.0), 0),
+         roof_nms.bound == analysis::Bound::kCompute ? "compute" : "memory"});
+  }
+  print_table(table);
+
+  std::cout << "Shape checks (paper): NM-SpMM sits far closer to the roof\n"
+               "than nmSPARSE at every level; packing lifts the 75/87.5%\n"
+               "AI above the non-packed value; AI at 75% exceeds 62.5%\n"
+               "because smaller Bs admits a deeper ks (Section IV-E).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Table I: recommended blocking parameters. This bench validates the
+// presets three ways:
+//   1. constraint audit — every preset satisfies Eq. 4/5, the register
+//      budget and the bank-conflict alignment at every paper sparsity;
+//   2. CMAR ranking (Eq. 6) — the paper's thread tiles are the best
+//      choices under the 255-register budget;
+//   3. cost-model cross check — each size class's preset beats the other
+//      classes' presets on its own representative problem.
+#include "analysis/cmar.hpp"
+#include "analysis/tuner.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace nmspmm;
+using namespace nmspmm::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_table1_params", "Table I preset validation");
+  if (!cli.parse(argc, argv)) return 1;
+
+  std::cout << "=== Table I: recommended parameter configurations ===\n\n";
+  ResultTable presets({"class", "ms", "ns", "mr", "nr", "mt", "nt",
+                       "regs/thread", "CMAR (alpha=1)"});
+  for (const SizeClass sc :
+       {SizeClass::kSmall, SizeClass::kMedium, SizeClass::kLarge}) {
+    const BlockingParams p = table1_preset(sc);
+    presets.add_row({to_string(sc), std::to_string(p.ms),
+                     std::to_string(p.ns), std::to_string(p.mr),
+                     std::to_string(p.nr), std::to_string(p.mt),
+                     std::to_string(p.nt),
+                     std::to_string(registers_per_thread(p)),
+                     ResultTable::fmt(analysis::cmar(p.mt, p.nt), 2)});
+  }
+  print_table(presets);
+
+  std::cout << "--- constraint audit (Eq. 4/5, 192 KiB shared memory) ---\n";
+  ResultTable audit({"class", "sparsity", "derived ks", "ws", "smem KB",
+                     "valid"});
+  for (const SizeClass sc :
+       {SizeClass::kSmall, SizeClass::kMedium, SizeClass::kLarge}) {
+    for (const NMConfig& cfg : paper_sparsities(true)) {
+      BlockingParams p = table1_preset(sc);
+      p.ks = derive_ks(cfg, p.ms, p.ns, 192 * 1024, 4096);
+      bool ok = true;
+      try {
+        validate_params(p, cfg, 192 * 1024, 4096);
+      } catch (const CheckError&) {
+        ok = false;
+      }
+      audit.add_row({to_string(sc), sparsity_label(cfg),
+                     std::to_string(p.ks), std::to_string(p.ws(cfg)),
+                     ResultTable::fmt(
+                         block_smem_bytes(p, cfg, false) / 1024.0, 1),
+                     ok ? "yes" : "NO"});
+    }
+  }
+  print_table(audit);
+
+  std::cout << "--- Eq. 6 thread-tile ranking under the 255-register "
+               "budget ---\n";
+  ResultTable tiles({"rank", "mt", "nt", "CMAR", "registers"});
+  const auto ranked_tiles = analysis::rank_thread_tiles(255, 1);
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, ranked_tiles.size());
+       ++i) {
+    const auto& t = ranked_tiles[i];
+    tiles.add_row({std::to_string(i + 1), std::to_string(t.mt),
+                   std::to_string(t.nt), ResultTable::fmt(t.cmar, 2),
+                   std::to_string(t.registers)});
+  }
+  print_table(tiles);
+  std::cout << "(The paper's 8x8 / 8x16 tiles head this list.)\n\n";
+
+  std::cout << "--- cost-model cross check: preset vs preset per class ---\n";
+  ResultTable cross({"problem", "small preset us", "medium preset us",
+                     "large preset us", "winner", "expected"});
+  struct Case {
+    index_t m, n, k;
+  };
+  for (const Case c : {Case{512, 512, 512}, Case{1024, 2048, 2048},
+                       Case{4096, 4096, 4096}}) {
+    double times[3];
+    int i = 0;
+    for (const SizeClass sc :
+         {SizeClass::kSmall, SizeClass::kMedium, SizeClass::kLarge}) {
+      gpusim::CostInputs in;
+      in.gpu = gpusim::a100_80g();
+      in.m = c.m;
+      in.n = c.n;
+      in.k = c.k;
+      in.cfg = kSparsity50;
+      in.params = table1_preset(sc);
+      in.params.ks = derive_ks(kSparsity50, in.params.ms, in.params.ns,
+                               192 * 1024, c.k);
+      in.variant = KernelVariant::kV3;
+      times[i++] = gpusim::predict(in).seconds;
+    }
+    const int best = static_cast<int>(
+        std::min_element(times, times + 3) - times);
+    const char* names[] = {"small", "medium", "large"};
+    cross.add_row({std::to_string(c.m) + "x" + std::to_string(c.n) + "x" +
+                       std::to_string(c.k),
+                   ResultTable::fmt(times[0] * 1e6, 1),
+                   ResultTable::fmt(times[1] * 1e6, 1),
+                   ResultTable::fmt(times[2] * 1e6, 1), names[best],
+                   to_string(classify_size(c.m, c.n, c.k))});
+  }
+  print_table(cross);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table III: hardware metrics of the three evaluation GPUs, plus the
+// derived roofline quantities the analysis uses (ridge points, per-SM
+// bandwidth share) and the ~70% compute->memory transition sparsity.
+#include "analysis/roofline.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace nmspmm;
+using namespace nmspmm::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_table3_specs", "Table III hardware registry");
+  if (!cli.parse(argc, argv)) return 1;
+
+  ResultTable table({"Metric", "A100 80G", "RTX 3090", "RTX 4090"});
+  const auto gpus = gpusim::paper_gpus();
+  auto row = [&](const std::string& name, auto getter, int precision) {
+    std::vector<std::string> cells{name};
+    for (const auto& gpu : gpus)
+      cells.push_back(ResultTable::fmt(getter(gpu), precision));
+    table.add_row(std::move(cells));
+  };
+  row("Boost Clock (MHz)", [](const auto& g) { return g.boost_clock_mhz; }, 0);
+  row("Peak FP32 TFLOPS", [](const auto& g) { return g.peak_fp32_tflops; }, 1);
+  row("Number of SMs", [](const auto& g) { return double(g.num_sms); }, 0);
+  row("Register File / SM (KB)",
+      [](const auto& g) { return g.register_file_bytes_per_sm / 1024.0; }, 0);
+  row("FP32 Cores / SM",
+      [](const auto& g) { return double(g.fp32_cores_per_sm); }, 0);
+  row("FP32 FLOPs / clock / SM",
+      [](const auto& g) { return double(g.fp32_flops_per_clock_per_sm); }, 0);
+  row("L1/Shared Memory / SM (KB)",
+      [](const auto& g) { return g.max_smem_bytes_per_sm / 1024.0; }, 0);
+  row("L2 Cache (MB)", [](const auto& g) { return g.l2_cache_bytes / 1e6; }, 0);
+  row("DRAM (GB)", [](const auto& g) { return g.dram_bytes / 1e9; }, 0);
+  row("DRAM Bandwidth (GB/s)",
+      [](const auto& g) { return g.dram_bandwidth_gbps; }, 0);
+  std::cout << "=== Table III: hardware metrics ===\n";
+  print_table(table);
+
+  ResultTable derived({"Derived metric", "A100 80G", "RTX 3090", "RTX 4090"});
+  auto drow = [&](const std::string& name, auto getter, int precision) {
+    std::vector<std::string> cells{name};
+    for (const auto& gpu : gpus)
+      cells.push_back(ResultTable::fmt(getter(gpu), precision));
+    derived.add_row(std::move(cells));
+  };
+  drow("Derived peak (TFLOPS)",
+       [](const auto& g) { return g.derived_peak_flops() / 1e12; }, 1);
+  drow("Sustained peak (TFLOPS)",
+       [](const auto& g) { return g.sustained_fp32_tflops; }, 1);
+  drow("Ridge point (FLOP/B)",
+       [](const auto& g) { return g.ridge_point(); }, 1);
+  drow("Sustained ridge (FLOP/B)",
+       [](const auto& g) { return g.sustained_ridge_point(); }, 1);
+  drow("Bytes/clock/SM",
+       [](const auto& g) { return g.bytes_per_clock_per_sm(); }, 1);
+  drow("Compute->memory transition sparsity (%)",
+       [](const auto& g) {
+         return 100.0 * analysis::transition_sparsity(
+                            g, table1_preset(SizeClass::kLarge), 32, 16, 4096);
+       },
+       1);
+  std::cout << "=== Derived roofline metrics (Section III-A) ===\n";
+  std::cout << "The paper reports the A100 transition near 70% sparsity and\n"
+               "earlier transitions on the bandwidth-starved consumer cards.\n";
+  print_table(derived);
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "analysis/arithmetic_intensity.hpp"
+
+#include <cmath>
+
+namespace nmspmm::analysis {
+
+double block_arithmetic_intensity(const BlockingParams& p,
+                                  const NMConfig& cfg,
+                                  double a_footprint_ratio) {
+  NMSPMM_CHECK_MSG(p.ks > 0, "ks must be derived before computing AI");
+  const double ms = static_cast<double>(p.ms);
+  const double ns = static_cast<double>(p.ns);
+  const double ks = static_cast<double>(p.ks);
+  const double ws = static_cast<double>(p.ws(cfg));
+  return 2.0 * ms * ns * ws /
+         (ms * ks * a_footprint_ratio + ws * ns + 2.0 * ms * ns);
+}
+
+double block_ai_flops_per_byte(const BlockingParams& p, const NMConfig& cfg,
+                               double a_footprint_ratio) {
+  return block_arithmetic_intensity(p, cfg, a_footprint_ratio) /
+         sizeof(float);
+}
+
+double expected_a_working_fraction(const BlockingParams& p,
+                                   const NMConfig& cfg) {
+  // A window row is needed when at least one of the qs groups keeps it:
+  // 1 - (1 - N/M)^qs under per-group independence.
+  const double qs = static_cast<double>(p.qs(cfg));
+  return 1.0 - std::pow(1.0 - cfg.density(), qs);
+}
+
+}  // namespace nmspmm::analysis

@@ -1,0 +1,31 @@
+// The top-down performance analysis of Section III-A.
+//
+// Eq. 3 gives the block-level arithmetic intensity of the N:M sparsity
+// computation; combined with the roofline of the target GPU it predicts
+// whether a configuration is compute or memory bound and where the
+// transition sparsity lies — the analysis that motivates the whole
+// sparsity-aware design.
+#pragma once
+
+#include "core/kernel_params.hpp"
+
+namespace nmspmm::analysis {
+
+/// Eq. 3: AI = 2*ms*ns*ws / (ms*ks + ws*ns + 2*ms*ns), in FLOP per
+/// element. @p a_footprint_ratio scales the As term for the packed
+/// footprint (|col_info|/ks); 1.0 reproduces Eq. 3 verbatim.
+double block_arithmetic_intensity(const BlockingParams& p,
+                                  const NMConfig& cfg,
+                                  double a_footprint_ratio = 1.0);
+
+/// Same quantity in FLOP per *byte* (FP32 elements), the roofline x-axis.
+double block_ai_flops_per_byte(const BlockingParams& p, const NMConfig& cfg,
+                               double a_footprint_ratio = 1.0);
+
+/// Fraction of the ms x ks working set of As that pruning windows of the
+/// block actually touch (upper bound ms*ks, lower bound ms*ws — §III-A's
+/// "memory footprint of As" discussion), for a uniformly random mask.
+double expected_a_working_fraction(const BlockingParams& p,
+                                   const NMConfig& cfg);
+
+}  // namespace nmspmm::analysis

@@ -1,0 +1,47 @@
+#include "analysis/cmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nmspmm::analysis {
+
+double cmar(index_t mt, index_t nt, int alpha) {
+  NMSPMM_CHECK(mt > 0 && nt > 0 && alpha > 0);
+  return static_cast<double>(mt) * static_cast<double>(nt) /
+         (static_cast<double>(alpha) *
+          (static_cast<double>(mt) + static_cast<double>(nt)));
+}
+
+index_t thread_tile_registers(index_t mt, index_t nt) {
+  return mt + nt + mt * nt;
+}
+
+std::vector<TileChoice> rank_thread_tiles(index_t max_registers, int alpha) {
+  std::vector<TileChoice> tiles;
+  for (index_t mt = 1; mt <= 32; mt *= 2) {
+    for (index_t nt = 1; nt <= 32; nt *= 2) {
+      if (thread_tile_registers(mt, nt) > max_registers) continue;
+      tiles.push_back(
+          {mt, nt, cmar(mt, nt, alpha), thread_tile_registers(mt, nt)});
+    }
+  }
+  std::stable_sort(tiles.begin(), tiles.end(),
+                   [](const TileChoice& a, const TileChoice& b) {
+                     if (a.cmar != b.cmar) return a.cmar > b.cmar;
+                     // More square is better: smaller |log(mt/nt)|.
+                     const double sa = std::abs(std::log2(
+                         static_cast<double>(a.mt) / static_cast<double>(a.nt)));
+                     const double sb = std::abs(std::log2(
+                         static_cast<double>(b.mt) / static_cast<double>(b.nt)));
+                     return sa < sb;
+                   });
+  return tiles;
+}
+
+TileChoice best_thread_tile(index_t max_registers, int alpha) {
+  const auto ranked = rank_thread_tiles(max_registers, alpha);
+  NMSPMM_CHECK(!ranked.empty());
+  return ranked.front();
+}
+
+}  // namespace nmspmm::analysis

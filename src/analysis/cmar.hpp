@@ -1,0 +1,36 @@
+// Compute-to-memory-access ratio of the thread inner kernel (Eq. 6) and
+// the register-budget thread-tile optimizer of Section III-B2.
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_params.hpp"
+
+namespace nmspmm::analysis {
+
+/// Eq. 6: CMAR = (1/alpha) * mt*nt / (mt + nt), where alpha reflects the
+/// shared-memory access width (4 for LDS.32, 2 for LDS.64, 1 for
+/// LDS.128).
+double cmar(index_t mt, index_t nt, int alpha = 1);
+
+/// Register estimate of a thread tile: mt + nt + mt*nt (At + Bt + Ct).
+index_t thread_tile_registers(index_t mt, index_t nt);
+
+struct TileChoice {
+  index_t mt = 0;
+  index_t nt = 0;
+  double cmar = 0.0;
+  index_t registers = 0;
+};
+
+/// Enumerate all power-of-two thread tiles satisfying the 255-register
+/// budget and return them sorted by descending CMAR (ties prefer more
+/// square tiles, which balance the At/Bt fragment loads).
+std::vector<TileChoice> rank_thread_tiles(index_t max_registers = 255,
+                                          int alpha = 1);
+
+/// The best tile under the register budget — on the A100 this lands on
+/// 8x8 / 8x16 exactly as the paper reports.
+TileChoice best_thread_tile(index_t max_registers = 255, int alpha = 1);
+
+}  // namespace nmspmm::analysis

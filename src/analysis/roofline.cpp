@@ -1,0 +1,46 @@
+#include "analysis/roofline.hpp"
+
+namespace nmspmm::analysis {
+
+RooflinePoint roofline_at(const gpusim::GpuSpec& gpu, double ai) {
+  // The compute roof is the sustained (clock-locked) throughput — the
+  // 14.7 TFLOPS line of Figure 10 on the A100, not the boost-clock peak.
+  RooflinePoint pt;
+  pt.ai_flops_per_byte = ai;
+  const double memory_tflops = ai * gpu.dram_bandwidth_gbps * 1e9 / 1e12;
+  if (memory_tflops < gpu.sustained_fp32_tflops) {
+    pt.attainable_tflops = memory_tflops;
+    pt.bound = Bound::kMemory;
+  } else {
+    pt.attainable_tflops = gpu.sustained_fp32_tflops;
+    pt.bound = Bound::kCompute;
+  }
+  return pt;
+}
+
+Bound classify_bound(const gpusim::GpuSpec& gpu, const BlockingParams& p,
+                     const NMConfig& cfg, double a_footprint_ratio) {
+  const double ai = block_ai_flops_per_byte(p, cfg, a_footprint_ratio);
+  return roofline_at(gpu, ai).bound;
+}
+
+double transition_sparsity(const gpusim::GpuSpec& gpu,
+                           const BlockingParams& preset, int window_m,
+                           int vector_length, index_t k) {
+  double last_compute_bound_sparsity = -1.0;
+  for (int n = window_m; n >= 1; --n) {
+    NMConfig cfg{n, window_m, vector_length};
+    BlockingParams p = preset;
+    p.ks = derive_ks(cfg, p.ms, p.ns,
+                     static_cast<std::size_t>(gpu.max_smem_bytes_per_sm), k);
+    if (classify_bound(gpu, p, cfg) == Bound::kMemory) {
+      // Sparsity increases as n decreases; first memory-bound point hit.
+      return cfg.sparsity();
+    }
+    last_compute_bound_sparsity = cfg.sparsity();
+  }
+  (void)last_compute_bound_sparsity;
+  return 1.0;
+}
+
+}  // namespace nmspmm::analysis

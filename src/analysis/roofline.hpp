@@ -1,0 +1,35 @@
+// Roofline model over the Table III GPU registry (Figure 10).
+#pragma once
+
+#include "analysis/arithmetic_intensity.hpp"
+#include "gpusim/gpu_spec.hpp"
+
+namespace nmspmm::analysis {
+
+enum class Bound { kCompute, kMemory };
+
+struct RooflinePoint {
+  double ai_flops_per_byte = 0.0;
+  double attainable_tflops = 0.0;
+  Bound bound = Bound::kCompute;
+};
+
+/// Attainable performance at arithmetic intensity @p ai (FLOP/byte):
+/// min(peak, ai * bandwidth).
+RooflinePoint roofline_at(const gpusim::GpuSpec& gpu, double ai);
+
+/// Classify a blocking configuration on a GPU via Eq. 3.
+Bound classify_bound(const gpusim::GpuSpec& gpu, const BlockingParams& p,
+                     const NMConfig& cfg, double a_footprint_ratio = 1.0);
+
+/// The sparsity at which the configuration's AI crosses the GPU's ridge
+/// point (the compute->memory transition Section III-A describes; the
+/// paper observes it near 70% on the A100). Solved by scanning N over
+/// [1, M] for the given window M and vector length L, deriving ks per
+/// Eq. 4 at each point. Returns 1.0 if the configuration never becomes
+/// memory bound.
+double transition_sparsity(const gpusim::GpuSpec& gpu,
+                           const BlockingParams& preset, int window_m,
+                           int vector_length, index_t k);
+
+}  // namespace nmspmm::analysis

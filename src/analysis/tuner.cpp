@@ -1,0 +1,79 @@
+#include "analysis/tuner.hpp"
+
+#include <algorithm>
+
+namespace nmspmm::analysis {
+
+std::vector<TunerResult> tune(const gpusim::GpuSpec& gpu, index_t m,
+                              index_t n, index_t k, const NMConfig& cfg,
+                              const TunerOptions& options) {
+  std::vector<TunerResult> results;
+  for (const index_t ms : options.ms_candidates) {
+    for (const index_t ns : options.ns_candidates) {
+      for (const index_t mt : options.mt_candidates) {
+        for (const index_t nt : options.nt_candidates) {
+          BlockingParams p;
+          p.ms = ms;
+          p.ns = ns;
+          p.mt = mt;
+          p.nt = nt;
+          p.mr = std::min<index_t>(ms, 4 * mt);
+          p.nr = std::min<index_t>(ns, 8 * nt);
+          p.ks = derive_ks(cfg, ms, ns,
+                           static_cast<std::size_t>(gpu.max_smem_bytes_per_sm),
+                           k);
+          try {
+            validate_params(
+                p, cfg, static_cast<std::size_t>(gpu.max_smem_bytes_per_sm),
+                k);
+          } catch (const CheckError&) {
+            continue;
+          }
+          // A block must not out-size the problem (tiny problems reject
+          // huge tiles: quantization would leave SMs idle).
+          if (ms > m * 2 || ns > n * 2) continue;
+          gpusim::CostInputs in;
+          in.gpu = gpu;
+          in.m = m;
+          in.n = n;
+          in.k = k;
+          in.cfg = cfg;
+          in.params = p;
+          in.variant = options.variant;
+          in.packed = options.packed;
+          in.packing_ratio = options.packing_ratio;
+          results.push_back({p, gpusim::predict(in)});
+        }
+      }
+    }
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const TunerResult& a, const TunerResult& b) {
+                     return a.cost.seconds < b.cost.seconds;
+                   });
+  return results;
+}
+
+std::size_t preset_rank(const std::vector<TunerResult>& ranked,
+                        const BlockingParams& preset, double rel_tol) {
+  NMSPMM_CHECK(!ranked.empty());
+  // Find the preset's predicted time (match on ms/ns/mt/nt).
+  double preset_time = -1.0;
+  for (const auto& r : ranked) {
+    if (r.params.ms == preset.ms && r.params.ns == preset.ns &&
+        r.params.mt == preset.mt && r.params.nt == preset.nt) {
+      preset_time = r.cost.seconds;
+      break;
+    }
+  }
+  NMSPMM_CHECK_MSG(preset_time >= 0.0,
+                   "preset " << preset.to_string()
+                             << " not among tuner candidates");
+  std::size_t rank = 1;
+  for (const auto& r : ranked) {
+    if (r.cost.seconds < preset_time * (1.0 - rel_tol)) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace nmspmm::analysis

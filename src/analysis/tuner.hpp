@@ -1,0 +1,43 @@
+// Blocking-parameter auto-tuner.
+//
+// Enumerates valid (ms, ns, mt, nt) configurations (Eq. 4/5 constraints,
+// register budget, bank-conflict alignment), scores each with the
+// analytical cost model on a target GPU, and returns the ranking. Used
+// by bench_table1_params to confirm the paper's Table I presets sit at
+// or near the model optimum for their size classes, and available to
+// users tuning unusual shapes.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+
+namespace nmspmm::analysis {
+
+struct TunerResult {
+  BlockingParams params;
+  gpusim::CostBreakdown cost;
+};
+
+struct TunerOptions {
+  std::vector<index_t> ms_candidates = {32, 64, 96, 128};
+  std::vector<index_t> ns_candidates = {32, 64, 96, 128, 256};
+  std::vector<index_t> mt_candidates = {4, 8, 16};
+  std::vector<index_t> nt_candidates = {4, 8, 16};
+  KernelVariant variant = KernelVariant::kV3;
+  bool packed = false;
+  double packing_ratio = 1.0;
+};
+
+/// All valid configurations sorted by predicted time (fastest first).
+std::vector<TunerResult> tune(const gpusim::GpuSpec& gpu, index_t m,
+                              index_t n, index_t k, const NMConfig& cfg,
+                              const TunerOptions& options = {});
+
+/// Rank (1 = best) of @p preset among the tuner's candidates, comparing
+/// by predicted time with a relative tolerance (configs within @p rel_tol
+/// of each other count as tied).
+std::size_t preset_rank(const std::vector<TunerResult>& ranked,
+                        const BlockingParams& preset, double rel_tol = 0.02);
+
+}  // namespace nmspmm::analysis

@@ -1,0 +1,74 @@
+#include "baselines/csr.hpp"
+
+namespace nmspmm {
+
+CsrMatrix csr_from_dense(ConstViewF dense) {
+  CsrMatrix csr;
+  csr.rows = dense.rows();
+  csr.cols = dense.cols();
+  csr.row_ptr.reserve(static_cast<std::size_t>(csr.rows) + 1);
+  csr.row_ptr.push_back(0);
+  for (index_t r = 0; r < dense.rows(); ++r) {
+    const float* row = dense.row(r);
+    for (index_t c = 0; c < dense.cols(); ++c) {
+      if (row[c] != 0.0f) {
+        csr.col_idx.push_back(static_cast<std::int32_t>(c));
+        csr.values.push_back(row[c]);
+      }
+    }
+    csr.row_ptr.push_back(static_cast<index_t>(csr.values.size()));
+  }
+  return csr;
+}
+
+CsrMatrix csr_from_compressed(const CompressedNM& B) {
+  const index_t k = B.orig_rows;
+  const index_t n = B.cols;
+  const index_t L = B.config.vector_length;
+  // Per original row, the list of (col, value) runs contributed by kept
+  // vectors. Build row-by-row to keep CSR ordering.
+  std::vector<std::vector<std::pair<index_t, const float*>>> runs(
+      static_cast<std::size_t>(k));
+  for (index_t u = 0; u < B.rows(); ++u) {
+    for (index_t g = 0; g < B.num_groups(); ++g) {
+      const index_t row = B.source_row(u, g);
+      if (row >= k) continue;
+      runs[static_cast<std::size_t>(row)].push_back(
+          {g, B.values.row(u) + g * L});
+    }
+  }
+  CsrMatrix csr;
+  csr.rows = k;
+  csr.cols = n;
+  csr.row_ptr.push_back(0);
+  for (index_t r = 0; r < k; ++r) {
+    auto& row_runs = runs[static_cast<std::size_t>(r)];
+    std::sort(row_runs.begin(), row_runs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [g, src] : row_runs) {
+      const index_t c0 = g * L;
+      const index_t c1 = std::min<index_t>(c0 + L, n);
+      for (index_t c = c0; c < c1; ++c) {
+        csr.col_idx.push_back(static_cast<std::int32_t>(c));
+        csr.values.push_back(src[c - c0]);
+      }
+    }
+    csr.row_ptr.push_back(static_cast<index_t>(csr.values.size()));
+  }
+  return csr;
+}
+
+MatrixF csr_to_dense(const CsrMatrix& csr) {
+  MatrixF dense(csr.rows, csr.cols);
+  dense.zero();
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (index_t e = csr.row_ptr[static_cast<std::size_t>(r)];
+         e < csr.row_ptr[static_cast<std::size_t>(r) + 1]; ++e) {
+      dense(r, csr.col_idx[static_cast<std::size_t>(e)]) =
+          csr.values[static_cast<std::size_t>(e)];
+    }
+  }
+  return dense;
+}
+
+}  // namespace nmspmm

@@ -1,0 +1,43 @@
+// Compressed Sparse Row storage for the unstructured-sparsity baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nm_format.hpp"
+#include "util/matrix.hpp"
+
+namespace nmspmm {
+
+/// CSR matrix over rows of a (k x n) operand.
+struct CsrMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_ptr;       ///< size rows+1
+  std::vector<std::int32_t> col_idx;  ///< size nnz
+  std::vector<float> values;          ///< size nnz
+
+  [[nodiscard]] index_t nnz() const {
+    return static_cast<index_t>(values.size());
+  }
+  [[nodiscard]] double density() const {
+    return rows * cols == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows) * static_cast<double>(cols));
+  }
+};
+
+/// Build CSR from a dense matrix, dropping exact zeros.
+CsrMatrix csr_from_dense(ConstViewF dense);
+
+/// Build CSR directly from a compressed N:M operand (equivalent to
+/// csr_from_dense(decompress(B)) but without materializing the dense
+/// form; zeros that happen to be stored in kept vectors are preserved so
+/// the nonzero *structure* matches the N:M mask).
+CsrMatrix csr_from_compressed(const CompressedNM& B);
+
+/// Dense reconstruction (for tests).
+MatrixF csr_to_dense(const CsrMatrix& csr);
+
+}  // namespace nmspmm

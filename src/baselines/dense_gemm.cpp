@@ -1,0 +1,114 @@
+#include "baselines/dense_gemm.hpp"
+
+#include <vector>
+
+#include "core/micro_kernel.hpp"
+#include "core/pack.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmspmm {
+
+namespace {
+
+using detail::kMicroM;
+using detail::kMicroN;
+
+/// Identity index stream: dense GEMM consumes packed-A columns in order.
+struct IdxIdentity {
+  index_t operator()(index_t p) const { return p; }
+};
+
+void gemm_blocked_impl(ConstViewF A, ConstViewF B, ViewF C, index_t ms,
+                       index_t ns, index_t ks) {
+  const index_t m = A.rows();
+  const index_t n = B.cols();
+  const index_t k = A.cols();
+  const index_t num_nblocks = ceil_div(n, ns);
+  const index_t num_kblocks = ceil_div(k, ks);
+  const index_t num_mblocks = ceil_div(m, ms);
+  const index_t ldb = static_cast<index_t>(
+      round_up(static_cast<std::size_t>(ns), 16));
+
+  parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t r = lo; r < hi; ++r) std::fill_n(C.row(r), n, 0.0f);
+  });
+
+  std::vector<float> bpack(static_cast<std::size_t>(ks * ldb));
+  for (index_t nb = 0; nb < num_nblocks; ++nb) {
+    const index_t j0 = nb * ns;
+    const index_t jb = std::min(ns, n - j0);
+    for (index_t kb_idx = 0; kb_idx < num_kblocks; ++kb_idx) {
+      const index_t k0 = kb_idx * ks;
+      const index_t kb = std::min(ks, k - k0);
+      detail::pack_b_block(B, k0, kb, j0, jb, bpack.data(), ldb);
+      parallel_for(0, num_mblocks, [&](index_t mlo, index_t mhi) {
+        for (index_t mb_idx = mlo; mb_idx < mhi; ++mb_idx) {
+          const index_t i0 = mb_idx * ms;
+          const index_t mb = std::min(ms, m - i0);
+          // A is consumed in place (broadcast loads need no packing).
+          const detail::APanel a{A.data() + i0 * A.ld() + k0, A.ld(), 1};
+          for (index_t it = 0; it < mb; it += kMicroM) {
+            const int mt = static_cast<int>(
+                std::min<index_t>(kMicroM, mb - it));
+            const detail::APanel a_tile = a.shifted_rows(it);
+            index_t j = 0;
+            while (j < jb) {
+              const index_t jw = std::min<index_t>(kMicroN, jb - j);
+              float* c = C.row(i0 + it) + j0 + j;
+              if (mt == kMicroM && jw == kMicroN) {
+                detail::micro_kernel<kMicroM, kMicroN, false>(
+                    kb, a_tile, bpack.data() + j, ldb, IdxIdentity{}, c,
+                    C.ld());
+              } else {
+                detail::micro_kernel_tail(kb, a_tile, bpack.data() + j, ldb,
+                                          IdxIdentity{}, mt,
+                                          static_cast<int>(jw), c, C.ld());
+              }
+              j += jw;
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_blocked(ConstViewF A, ConstViewF B, ViewF C) {
+  gemm_blocked(A, B, C, table1_preset(classify_size(A.rows(), B.cols(),
+                                                    A.cols())));
+}
+
+void gemm_blocked(ConstViewF A, ConstViewF B, ViewF C,
+                  const BlockingParams& params) {
+  NMSPMM_CHECK(A.cols() == B.rows());
+  NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols());
+  index_t ks = params.ks;
+  if (ks == 0) {
+    // Same Eq. 4-style working-set bound with a dense B block (N = M).
+    NMConfig dense_cfg{1, 1, 16};
+    ks = derive_ks(dense_cfg, params.ms, params.ns, 192 * 1024, A.cols());
+    ks = std::max<index_t>(ks, 64);
+  }
+  gemm_blocked_impl(A, B, C, params.ms, params.ns, ks);
+}
+
+void gemm_naive(ConstViewF A, ConstViewF B, ViewF C) {
+  NMSPMM_CHECK(A.cols() == B.rows());
+  NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols());
+  const index_t m = A.rows();
+  const index_t n = B.cols();
+  const index_t k = A.cols();
+  for (index_t i = 0; i < m; ++i) {
+    float* crow = C.row(i);
+    std::fill_n(crow, n, 0.0f);
+    for (index_t p = 0; p < k; ++p) {
+      const float a = A(i, p);
+      const float* brow = B.row(p);
+      for (index_t j = 0; j < n; ++j) crow[j] += a * brow[j];
+    }
+  }
+}
+
+}  // namespace nmspmm

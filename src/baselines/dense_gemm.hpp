@@ -1,0 +1,24 @@
+// Dense SGEMM baseline — the cuBLAS stand-in.
+//
+// gemm_blocked uses the same cache-blocking / packing / register-tiled
+// micro-kernel machinery as the NM-SpMM kernels (minus index indirection)
+// so speedups over it isolate the effect of sparsity, exactly like the
+// paper's cuBLAS baseline isolates the dense upper bound.
+#pragma once
+
+#include "core/kernel_params.hpp"
+#include "util/matrix.hpp"
+
+namespace nmspmm {
+
+/// C = A * B with hierarchical blocking and packed operands.
+/// Parameters default to the Table I preset for the problem size.
+void gemm_blocked(ConstViewF A, ConstViewF B, ViewF C);
+void gemm_blocked(ConstViewF A, ConstViewF B, ViewF C,
+                  const BlockingParams& params);
+
+/// Cache-oblivious naive GEMM (ikj loop order); used to demonstrate the
+/// value of blocking in tests/benches, not as the paper baseline.
+void gemm_naive(ConstViewF A, ConstViewF B, ViewF C);
+
+}  // namespace nmspmm

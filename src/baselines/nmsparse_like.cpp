@@ -1,0 +1,51 @@
+#include "baselines/nmsparse_like.hpp"
+
+#include "core/col_info.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmspmm {
+
+void nmsparse_like_spmm(ConstViewF A, const CompressedNM& B, ViewF C) {
+  NMSPMM_CHECK(A.cols() == B.orig_rows);
+  NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
+  const index_t m = A.rows();
+  const index_t n = B.cols;
+  const index_t w = B.rows();
+  const index_t L = B.config.vector_length;
+  const index_t q = B.num_groups();
+  const index_t k = A.cols();
+
+  // Pre-resolved indices are fair game (nmSPARSE also stores explicit
+  // vector offsets); what it lacks is the hierarchical k-blocking.
+  const Matrix<std::int32_t> resolved = resolve_indices(B);
+
+  // One-level decomposition: rows of C in parallel, vector-wide columns
+  // inside. The whole w-deep reduction streams per row pair, so A and B'
+  // working sets exceed cache for large problems — the locality gap the
+  // NM-SpMM hierarchical blocking closes.
+  constexpr index_t kRowTile = 2;  // nmSPARSE-style small register tile
+  parallel_for(0, ceil_div(m, kRowTile), [&](index_t lo, index_t hi) {
+    for (index_t bt = lo; bt < hi; ++bt) {
+      const index_t i0 = bt * kRowTile;
+      const index_t ib = std::min(kRowTile, m - i0);
+      for (index_t r = 0; r < ib; ++r)
+        std::fill_n(C.row(i0 + r), n, 0.0f);
+      for (index_t u = 0; u < w; ++u) {
+        const float* brow = B.values.row(u);
+        for (index_t g = 0; g < q; ++g) {
+          const index_t src = resolved(u, g);
+          if (src >= k) continue;  // window padding
+          const index_t c0 = g * L;
+          const index_t c1 = std::min<index_t>(c0 + L, n);
+          for (index_t r = 0; r < ib; ++r) {
+            const float a = A(i0 + r, src);
+            float* crow = C.row(i0 + r);
+            for (index_t c = c0; c < c1; ++c) crow[c] += a * brow[c];
+          }
+        }
+      }
+    }
+  }, /*min_grain=*/4);
+}
+
+}  // namespace nmspmm

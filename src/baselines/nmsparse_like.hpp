@@ -1,0 +1,22 @@
+// nmSPARSE-style N:M SpMM baseline (Lin et al., MLSys 2023).
+//
+// nmSPARSE supports arbitrary vector-wise N:M ratios on CUDA cores with
+// block-level gather, but — per the paper's related-work analysis — "does
+// not fully exploit the locality introduced by N:M sparsity or optimize
+// for different sparsity levels": no deep k-chunking bounded by the
+// shared-memory working set, no col_info packing, no sparsity-aware
+// pipeline. This baseline reproduces that design point: a single-level
+// n-block x m-row decomposition whose inner loop streams the entire
+// compressed reduction dimension with gathers straight from the
+// activations, using a fixed small register tile.
+#pragma once
+
+#include "core/nm_format.hpp"
+#include "util/matrix.hpp"
+
+namespace nmspmm {
+
+/// C = A (*) (B, D). Overwrites C.
+void nmsparse_like_spmm(ConstViewF A, const CompressedNM& B, ViewF C);
+
+}  // namespace nmspmm

@@ -1,0 +1,56 @@
+#include "baselines/sputnik_like.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/thread_pool.hpp"
+
+namespace nmspmm {
+
+SputnikPlan sputnik_plan(const CsrMatrix& weights) {
+  SputnikPlan plan;
+  plan.weights = weights;
+  plan.row_order.resize(static_cast<std::size_t>(weights.rows));
+  std::iota(plan.row_order.begin(), plan.row_order.end(), index_t{0});
+  // Longest-first scheduling balances work across workers, like
+  // Sputnik's row swizzle balances work across thread blocks.
+  std::stable_sort(plan.row_order.begin(), plan.row_order.end(),
+                   [&](index_t a, index_t b) {
+                     const auto la = weights.row_ptr[a + 1] - weights.row_ptr[a];
+                     const auto lb = weights.row_ptr[b + 1] - weights.row_ptr[b];
+                     return la > lb;
+                   });
+  return plan;
+}
+
+void sputnik_like_spmm(ConstViewF A, const SputnikPlan& plan, ViewF C) {
+  const CsrMatrix& B = plan.weights;
+  NMSPMM_CHECK(A.cols() == B.rows);
+  NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
+  const index_t m = A.rows();
+  const index_t n = B.cols;
+
+  // 1-D tiling over output rows: each worker owns a band of C and streams
+  // the whole sparse operand through it (no k-blocking — the defining
+  // locality weakness of the unstructured kernel).
+  parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      float* crow = C.row(i);
+      std::fill_n(crow, n, 0.0f);
+      const float* arow = A.row(i);
+      for (index_t ro = 0; ro < B.rows; ++ro) {
+        const index_t r = plan.row_order[static_cast<std::size_t>(ro)];
+        const float a = arow[r];
+        if (a == 0.0f) continue;
+        const index_t e0 = B.row_ptr[static_cast<std::size_t>(r)];
+        const index_t e1 = B.row_ptr[static_cast<std::size_t>(r) + 1];
+        for (index_t e = e0; e < e1; ++e) {
+          crow[B.col_idx[static_cast<std::size_t>(e)]] +=
+              a * B.values[static_cast<std::size_t>(e)];
+        }
+      }
+    }
+  }, /*min_grain=*/8);
+}
+
+}  // namespace nmspmm

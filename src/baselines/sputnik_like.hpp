@@ -1,0 +1,30 @@
+// Unstructured SpMM baseline in the style of Sputnik (Gale et al., SC'20).
+//
+// Sputnik computes dense-activation x sparse-weight products from CSR
+// with 1-D tiling, vector memory accesses and row-swizzle load balancing,
+// but — being unstructured — cannot tile registers over the reduction
+// dimension or reuse gathered activations across output columns. This
+// baseline mirrors those traits on CPU: per-row CSR traversal with
+// row-length-sorted scheduling, contiguous vector accumulation over n,
+// and no hierarchical blocking. The paper's Figure 9 shows this class of
+// kernel losing to N:M-structured kernels; the same gap appears here and
+// for the same reason (irregular access, no locality structure).
+#pragma once
+
+#include "baselines/csr.hpp"
+#include "util/matrix.hpp"
+
+namespace nmspmm {
+
+/// Offline scheduling state (the analog of Sputnik's row swizzle).
+struct SputnikPlan {
+  CsrMatrix weights;                 ///< B in CSR (k x n)
+  std::vector<index_t> row_order;    ///< rows sorted by descending length
+};
+
+SputnikPlan sputnik_plan(const CsrMatrix& weights);
+
+/// C = A * B for dense A (m x k) and CSR B (k x n). Overwrites C.
+void sputnik_like_spmm(ConstViewF A, const SputnikPlan& plan, ViewF C);
+
+}  // namespace nmspmm

@@ -1,0 +1,96 @@
+#include "core/col_info.hpp"
+
+#include <algorithm>
+
+namespace nmspmm {
+
+double ColInfo::mean_packing_ratio() const {
+  if (plans_.empty() || ks_ == 0) return 1.0;
+  double total = 0.0;
+  for (const auto& p : plans_)
+    total += static_cast<double>(p.cols.size()) / static_cast<double>(ks_);
+  return total / static_cast<double>(plans_.size());
+}
+
+std::size_t ColInfo::overhead_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& p : plans_)
+    bytes += p.cols.size() * sizeof(std::int32_t);
+  return bytes;
+}
+
+ColInfo build_col_info(const CompressedNM& B, index_t ks, index_t ns) {
+  const NMConfig& cfg = B.config;
+  cfg.validate();
+  NMSPMM_CHECK_MSG(ks > 0 && ks % cfg.m == 0,
+                   "ks must be a positive multiple of M, got " << ks);
+  NMSPMM_CHECK_MSG(ns > 0, "ns must be positive");
+  const index_t pk = cfg.padded_k(B.orig_rows);
+  const index_t ws = ks * cfg.n / cfg.m;
+  const index_t num_chunks = ceil_div(pk, ks);
+  const index_t num_nblocks = ceil_div(B.cols, ns);
+  const index_t L = cfg.vector_length;
+
+  std::vector<PackPlan> plans;
+  plans.reserve(static_cast<std::size_t>(num_chunks * num_nblocks));
+  std::vector<std::int32_t> position(static_cast<std::size_t>(ks));
+
+  for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const index_t u0 = chunk * ws;
+    const index_t wb = std::min(ws, B.rows() - u0);
+    for (index_t nb = 0; nb < num_nblocks; ++nb) {
+      const index_t j0 = nb * ns;
+      const index_t j1 = std::min(j0 + ns, B.cols);
+      const index_t g0 = j0 / L;
+      const index_t g1 = ceil_div(j1, L);
+      const index_t groups = g1 - g0;
+
+      PackPlan plan;
+      // queryColInfo: mark every local column some (row, group) touches.
+      std::vector<bool> needed(static_cast<std::size_t>(ks), false);
+      for (index_t p = 0; p < wb; ++p) {
+        const index_t u = u0 + p;
+        const index_t local_window = (p / cfg.n) * cfg.m;
+        for (index_t g = g0; g < g1; ++g)
+          needed[static_cast<std::size_t>(local_window + B.indices(u, g))] =
+              true;
+      }
+      for (index_t c = 0; c < ks; ++c)
+        if (needed[static_cast<std::size_t>(c)])
+          plan.cols.push_back(static_cast<std::int32_t>(c));
+
+      // reorderingIdx: invert cols into a position table, then rewrite D.
+      std::fill(position.begin(), position.end(), -1);
+      for (std::size_t i = 0; i < plan.cols.size(); ++i)
+        position[static_cast<std::size_t>(plan.cols[i])] =
+            static_cast<std::int32_t>(i);
+      plan.remapped = Matrix<std::uint16_t>(ws, std::max<index_t>(groups, 1));
+      plan.remapped.fill(0);
+      for (index_t p = 0; p < wb; ++p) {
+        const index_t u = u0 + p;
+        const index_t local_window = (p / cfg.n) * cfg.m;
+        for (index_t g = g0; g < g1; ++g) {
+          const auto pos =
+              position[static_cast<std::size_t>(local_window +
+                                                B.indices(u, g))];
+          NMSPMM_DCHECK(pos >= 0);
+          plan.remapped(p, g - g0) = static_cast<std::uint16_t>(pos);
+        }
+      }
+      plans.push_back(std::move(plan));
+    }
+  }
+  return ColInfo(ks, ns, num_chunks, num_nblocks, std::move(plans));
+}
+
+Matrix<std::int32_t> resolve_indices(const CompressedNM& B) {
+  Matrix<std::int32_t> resolved(B.rows(), std::max<index_t>(B.num_groups(), 1));
+  for (index_t u = 0; u < B.rows(); ++u) {
+    const index_t window = (u / B.config.n) * B.config.m;
+    for (index_t g = 0; g < B.num_groups(); ++g)
+      resolved(u, g) = static_cast<std::int32_t>(window + B.indices(u, g));
+  }
+  return resolved;
+}
+
+}  // namespace nmspmm

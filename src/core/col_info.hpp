@@ -1,0 +1,80 @@
+// Offline pre-processing for the high-sparsity packing strategy
+// (Section III-C1, Figure 4, Listing 3 lines 2-6).
+//
+// For every (k-chunk, n-block) pair the pre-processing computes:
+//   1. col_info — the sorted union of original-A columns any pruning
+//      window in the tile touches (queryColInfo);
+//   2. the reordered index matrix — D rewritten so each entry names the
+//      *packed* column directly instead of a within-window offset
+//      (reorderingIdx), widened to uint16 because packed positions can
+//      exceed a window (transformLayout's layout change).
+// During computation the kernels pack As using col_info, shrinking the
+// staged A footprint from ms*ks to ms*|col_info| and raising arithmetic
+// intensity (Eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel_params.hpp"
+#include "core/nm_format.hpp"
+
+namespace nmspmm {
+
+/// Packing plan for one (k-chunk, n-block) tile.
+struct PackPlan {
+  /// Sorted local column offsets (within [k0, k0+ks)) that must be staged.
+  std::vector<std::int32_t> cols;
+  /// Reordered indices: remapped(p, g_local) = position in `cols` of the
+  /// column that compressed row (u0+p) uses in block-local group g_local.
+  Matrix<std::uint16_t> remapped;
+};
+
+/// All packing plans for a fixed blocking of one compressed matrix.
+class ColInfo {
+ public:
+  ColInfo() = default;
+  ColInfo(index_t ks, index_t ns, index_t num_chunks, index_t num_nblocks,
+          std::vector<PackPlan> plans)
+      : ks_(ks), ns_(ns), num_chunks_(num_chunks), num_nblocks_(num_nblocks),
+        plans_(std::move(plans)) {}
+
+  [[nodiscard]] index_t ks() const { return ks_; }
+  [[nodiscard]] index_t ns() const { return ns_; }
+  [[nodiscard]] index_t num_chunks() const { return num_chunks_; }
+  [[nodiscard]] index_t num_nblocks() const { return num_nblocks_; }
+
+  [[nodiscard]] const PackPlan& plan(index_t chunk, index_t nblock) const {
+    NMSPMM_DCHECK(chunk >= 0 && chunk < num_chunks_);
+    NMSPMM_DCHECK(nblock >= 0 && nblock < num_nblocks_);
+    return plans_[static_cast<std::size_t>(chunk * num_nblocks_ + nblock)];
+  }
+
+  /// Mean |col_info| / ks over all tiles: the packing compression ratio.
+  /// 1.0 means packing saves nothing (moderate sparsity / many distinct
+  /// window patterns); N/M is the identical-pattern lower bound.
+  [[nodiscard]] double mean_packing_ratio() const;
+
+  /// Extra memory the col_info structures occupy (the paper reports 1-10%
+  /// of D; used by tests to confirm the overhead stays negligible).
+  [[nodiscard]] std::size_t overhead_bytes() const;
+
+ private:
+  index_t ks_ = 0;
+  index_t ns_ = 0;
+  index_t num_chunks_ = 0;
+  index_t num_nblocks_ = 0;
+  std::vector<PackPlan> plans_;
+};
+
+/// Build packing plans for @p B under chunk depth @p ks (multiple of M)
+/// and block width @p ns.
+ColInfo build_col_info(const CompressedNM& B, index_t ks, index_t ns);
+
+/// Resolved local index matrix for the *non*-packed path: entry (u, g) =
+/// (u/N)*M + D[u][g], i.e. the column offset within the enclosing chunk
+/// once the chunk base is subtracted. The V3 kernel hoists rows of this
+/// matrix into its register buffer (Listing 4 prefetch).
+Matrix<std::int32_t> resolve_indices(const CompressedNM& B);
+
+}  // namespace nmspmm

@@ -1,0 +1,226 @@
+// Register-tiled inner kernels (Listing 2 / Eq. 6).
+//
+// The thread inner kernel of the paper is an mt x nt outer product: At is
+// broadcast, Bt is a contiguous vector, Ct lives in registers for the
+// whole ws loop. On CPU we express the same structure with explicit
+// SIMD: one B-row vector load per step, one A broadcast per output row
+// (compilers left alone tend to vectorize this nest along m instead,
+// which doubles load traffic). The A operand is addressed generically as
+// a_base[i*stride_i + col*stride_col] so the same kernel serves
+//   - the non-packing strategy (A read in place: stride_i = lda,
+//     stride_col = 1), and
+//   - the packing strategy (gathered columns stored column-major:
+//     stride_i = 1, stride_col = panel height).
+// The column index `col` comes from an index provider — the only
+// difference between V1/V2/V3 is how that index is produced.
+#pragma once
+
+#include <cstdint>
+
+#include "util/matrix.hpp"
+
+#if defined(__SSE__) || defined(__AVX__)
+#include <immintrin.h>
+#define NMSPMM_HAS_PREFETCH 1
+#endif
+
+#define NMSPMM_RESTRICT __restrict__
+
+namespace nmspmm::detail {
+
+/// Addressing descriptor for the A operand of the inner kernel.
+struct APanel {
+  const float* NMSPMM_RESTRICT base = nullptr;
+  index_t stride_i = 0;    ///< distance between consecutive output rows
+  index_t stride_col = 0;  ///< distance between consecutive k-columns
+
+  [[nodiscard]] APanel shifted_rows(index_t i0) const {
+    return {base + i0 * stride_i, stride_i, stride_col};
+  }
+};
+
+/// Index provider: resolves the A column for step p by computing
+/// (p/N)*M + D[p][g] on the fly (the V1 kernel; Listing 2's
+/// LoadFragByIdx reads Ds inside the loop). Stateful: must be consumed
+/// with strictly increasing p starting at 0.
+struct IdxFromD {
+  const std::uint8_t* NMSPMM_RESTRICT d_col;  ///< &D[u0][g]
+  index_t stride;                             ///< D leading dimension
+  int n;                                      ///< N of N:M
+  int m;                                      ///< M of N:M
+  index_t window_base = 0;
+  int in_window = 0;
+
+  index_t operator()(index_t p) {
+    const index_t idx = window_base + d_col[p * stride];
+    if (++in_window == n) {
+      in_window = 0;
+      window_base += m;
+    }
+    return idx;
+  }
+};
+
+/// Index provider reading the offline-reordered index matrix (V2: after
+/// reorderingIdx the entry already names the packed column directly).
+struct IdxFromRemap {
+  const std::uint16_t* NMSPMM_RESTRICT remap_col;  ///< &remap[0][g]
+  index_t stride;
+
+  index_t operator()(index_t p) const { return remap_col[p * stride]; }
+};
+
+/// Index provider reading a per-group buffer the caller hoisted before
+/// the loop (V3: "pre-fetch the indices required by each thread from
+/// shared memory into registers", Listing 4 line 12/23).
+struct IdxFromBuffer {
+  const std::uint16_t* NMSPMM_RESTRICT buf;
+
+  index_t operator()(index_t p) const { return buf[p]; }
+};
+
+/// MT x NT inner kernel: C[0..MT)[0..NT) += sum_p A[.., idx(p)] (x)
+/// Bpack[p][..]. @p Prefetch additionally prefetches the B row a few
+/// steps ahead (part of the V3 pipeline).
+template <int MT, int NT, bool Prefetch, class IdxFn>
+inline void micro_kernel(index_t ws, APanel a,
+                         const float* NMSPMM_RESTRICT bpack, index_t ldb,
+                         IdxFn idx_of, float* NMSPMM_RESTRICT c,
+                         index_t ldc) {
+#if defined(__AVX512F__)
+  if constexpr (NT == 16) {
+    __m512 acc[MT];
+    for (int i = 0; i < MT; ++i) acc[i] = _mm512_setzero_ps();
+    for (index_t p = 0; p < ws; ++p) {
+      const index_t col = idx_of(p) * a.stride_col;
+      const float* NMSPMM_RESTRICT ap = a.base + col;
+      if constexpr (Prefetch) {
+        if (p + 4 < ws)
+          _mm_prefetch(reinterpret_cast<const char*>(bpack + (p + 4) * ldb),
+                       _MM_HINT_T0);
+      }
+      const __m512 b = _mm512_loadu_ps(bpack + p * ldb);
+      for (int i = 0; i < MT; ++i)
+        acc[i] = _mm512_fmadd_ps(_mm512_set1_ps(ap[i * a.stride_i]), b,
+                                 acc[i]);
+    }
+    for (int i = 0; i < MT; ++i) {
+      float* crow = c + i * ldc;
+      _mm512_storeu_ps(crow, _mm512_add_ps(_mm512_loadu_ps(crow), acc[i]));
+    }
+    return;
+  }
+#elif defined(__AVX2__) && defined(__FMA__)
+  if constexpr (NT == 16 && MT % 2 == 0) {
+    // Two row-halves per pass keep the accumulator count within the 16
+    // ymm registers AVX2 provides.
+    for (int half = 0; half < MT; half += MT / 2) {
+      constexpr int HM = MT / 2;
+      __m256 acc[HM][2];
+      for (int i = 0; i < HM; ++i)
+        acc[i][0] = acc[i][1] = _mm256_setzero_ps();
+      IdxFn idx = idx_of;  // restart the (possibly stateful) stream
+      for (index_t p = 0; p < ws; ++p) {
+        const float* NMSPMM_RESTRICT ap =
+            a.base + idx(p) * a.stride_col + half * a.stride_i;
+        if constexpr (Prefetch) {
+          if (p + 4 < ws)
+            _mm_prefetch(reinterpret_cast<const char*>(bpack + (p + 4) * ldb),
+                         _MM_HINT_T0);
+        }
+        const __m256 b0 = _mm256_loadu_ps(bpack + p * ldb);
+        const __m256 b1 = _mm256_loadu_ps(bpack + p * ldb + 8);
+        for (int i = 0; i < HM; ++i) {
+          const __m256 av = _mm256_set1_ps(ap[i * a.stride_i]);
+          acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+          acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+        }
+      }
+      for (int i = 0; i < HM; ++i) {
+        float* crow = c + (half + i) * ldc;
+        _mm256_storeu_ps(crow,
+                         _mm256_add_ps(_mm256_loadu_ps(crow), acc[i][0]));
+        _mm256_storeu_ps(crow + 8,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[i][1]));
+      }
+    }
+    return;
+  }
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+  // Narrow-vector paths for small pruning-unit lengths (L = 8 / L = 4):
+  // without them the scalar fallback dominates the small-L sweep.
+  if constexpr (NT == 8) {
+    __m256 acc[MT];
+    for (int i = 0; i < MT; ++i) acc[i] = _mm256_setzero_ps();
+    for (index_t p = 0; p < ws; ++p) {
+      const float* NMSPMM_RESTRICT ap = a.base + idx_of(p) * a.stride_col;
+      const __m256 b = _mm256_loadu_ps(bpack + p * ldb);
+      for (int i = 0; i < MT; ++i)
+        acc[i] = _mm256_fmadd_ps(_mm256_set1_ps(ap[i * a.stride_i]), b,
+                                 acc[i]);
+    }
+    for (int i = 0; i < MT; ++i) {
+      float* crow = c + i * ldc;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[i]));
+    }
+    return;
+  }
+  if constexpr (NT == 4) {
+    __m128 acc[MT];
+    for (int i = 0; i < MT; ++i) acc[i] = _mm_setzero_ps();
+    for (index_t p = 0; p < ws; ++p) {
+      const float* NMSPMM_RESTRICT ap = a.base + idx_of(p) * a.stride_col;
+      const __m128 b = _mm_loadu_ps(bpack + p * ldb);
+      for (int i = 0; i < MT; ++i)
+        acc[i] = _mm_fmadd_ps(_mm_set1_ps(ap[i * a.stride_i]), b, acc[i]);
+    }
+    for (int i = 0; i < MT; ++i) {
+      float* crow = c + i * ldc;
+      _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow), acc[i]));
+    }
+    return;
+  }
+#endif
+  // Portable fallback (also the non-16/8/4-wide path).
+  float acc[MT][NT] = {};
+  for (index_t p = 0; p < ws; ++p) {
+    const float* NMSPMM_RESTRICT ap = a.base + idx_of(p) * a.stride_col;
+    const float* NMSPMM_RESTRICT b = bpack + p * ldb;
+    for (int i = 0; i < MT; ++i) {
+      const float av = ap[i * a.stride_i];
+      for (int j = 0; j < NT; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  for (int i = 0; i < MT; ++i)
+    for (int j = 0; j < NT; ++j) c[i * ldc + j] += acc[i][j];
+}
+
+/// Tail kernel with runtime tile bounds (mt <= 8, nt <= 16); used for the
+/// ragged edges of C so the fast path above never branches.
+template <class IdxFn>
+inline void micro_kernel_tail(index_t ws, APanel a,
+                              const float* NMSPMM_RESTRICT bpack,
+                              index_t ldb, IdxFn idx_of, int mt, int nt,
+                              float* NMSPMM_RESTRICT c, index_t ldc) {
+  float acc[8][16] = {};
+  for (index_t p = 0; p < ws; ++p) {
+    const float* ap = a.base + idx_of(p) * a.stride_col;
+    const float* b = bpack + p * ldb;
+    for (int i = 0; i < mt; ++i) {
+      const float av = ap[i * a.stride_i];
+      for (int j = 0; j < nt; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  for (int i = 0; i < mt; ++i)
+    for (int j = 0; j < nt; ++j) c[i * ldc + j] += acc[i][j];
+}
+
+/// Fast-path tile sizes for the CPU micro kernel: 8 x 16 keeps the
+/// accumulator in eight 16-float vector registers (AVX-512) or sixteen
+/// 8-float registers (AVX2) — the CPU analog of the paper's 8x8 / 8x16
+/// thread tiles.
+inline constexpr int kMicroM = 8;
+inline constexpr int kMicroN = 16;
+
+}  // namespace nmspmm::detail

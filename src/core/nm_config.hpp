@@ -1,0 +1,76 @@
+// N:M sparsity configuration (Section II-A of the paper).
+//
+// A vector-wise N:M pattern keeps N row-vectors (each of length L along
+// the n dimension) out of every M consecutive rows of the weight matrix B.
+// Sparsity = 1 - N/M. L controls the pruning-unit granularity: smaller L
+// tracks the algorithmic N:M literature more closely (better accuracy),
+// larger L gives more data reuse inside a warp/register tile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/matrix.hpp"
+
+namespace nmspmm {
+
+struct NMConfig {
+  int n = 2;              ///< vectors kept per window
+  int m = 4;              ///< window size (consecutive rows)
+  int vector_length = 16; ///< L: pruning-unit width along the n dimension
+
+  [[nodiscard]] double sparsity() const {
+    return 1.0 - static_cast<double>(n) / static_cast<double>(m);
+  }
+  /// Fraction of dense FLOPs that remain (the ideal speedup is 1/density).
+  [[nodiscard]] double density() const {
+    return static_cast<double>(n) / static_cast<double>(m);
+  }
+
+  /// The paper classifies sparsity below 70% as "moderate" (compute
+  /// bound) and above as "high" (memory bound); Section III-A.
+  static constexpr double kHighSparsityThreshold = 0.70;
+  [[nodiscard]] bool is_high_sparsity() const {
+    return sparsity() > kHighSparsityThreshold;
+  }
+
+  /// Number of compressed rows for an (unpadded) k: w = ceil(k/M)*N.
+  [[nodiscard]] index_t compressed_rows(index_t k) const {
+    return ceil_div(k, m) * n;
+  }
+  /// k padded up to a multiple of M.
+  [[nodiscard]] index_t padded_k(index_t k) const {
+    return ceil_div(k, m) * m;
+  }
+  /// Number of pruning-window column groups: q = ceil(n_cols / L).
+  [[nodiscard]] index_t num_groups(index_t n_cols) const {
+    return ceil_div(n_cols, vector_length);
+  }
+
+  void validate() const {
+    NMSPMM_CHECK_MSG(m >= 1 && n >= 1 && n <= m,
+                     "invalid N:M = " << n << ":" << m);
+    NMSPMM_CHECK_MSG(m <= 256, "M must fit the uint8 index matrix, got " << m);
+    NMSPMM_CHECK_MSG(vector_length >= 1, "vector length must be positive");
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(n) + ":" + std::to_string(m) + " (L=" +
+           std::to_string(vector_length) + ", sparsity=" +
+           std::to_string(sparsity() * 100.0).substr(0, 4) + "%)";
+  }
+
+  friend bool operator==(const NMConfig&, const NMConfig&) = default;
+};
+
+/// The four sparsity levels the paper evaluates (50%, 62.5%, 75%, 87.5%),
+/// expressed as N:M over a window of 32 so they share one M (§IV-A).
+inline constexpr NMConfig kSparsity50 = {16, 32, 16};
+inline constexpr NMConfig kSparsity625 = {12, 32, 16};
+inline constexpr NMConfig kSparsity75 = {8, 32, 16};
+inline constexpr NMConfig kSparsity875 = {4, 32, 16};
+/// 0% sparsity control case: the paper sets N = M = 32 (Fig 7/8).
+inline constexpr NMConfig kSparsity0 = {32, 32, 16};
+
+}  // namespace nmspmm

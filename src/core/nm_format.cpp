@@ -1,0 +1,100 @@
+#include "core/nm_format.hpp"
+
+namespace nmspmm {
+
+void NMMask::validate() const {
+  config.validate();
+  NMSPMM_CHECK(keep.rows() == config.compressed_rows(orig_rows));
+  NMSPMM_CHECK(keep.cols() == config.num_groups(cols));
+  const int n = config.n;
+  const int m = config.m;
+  for (index_t u = 0; u < keep.rows(); ++u) {
+    for (index_t g = 0; g < keep.cols(); ++g) {
+      const int off = keep(u, g);
+      NMSPMM_CHECK_MSG(off < m, "mask offset " << off << " out of window "
+                                               << m << " at (" << u << ","
+                                               << g << ")");
+      if (u % n != 0) {
+        NMSPMM_CHECK_MSG(
+            keep(u - 1, g) < off,
+            "mask offsets must be strictly increasing inside a window; "
+            "window row " << u % n << " group " << g);
+      }
+    }
+  }
+}
+
+CompressedNM compress(ConstViewF B, const NMMask& mask) {
+  mask.validate();
+  NMSPMM_CHECK_MSG(B.rows() == mask.orig_rows && B.cols() == mask.cols,
+                   "B shape " << B.rows() << "x" << B.cols()
+                              << " does not match mask "
+                              << mask.orig_rows << "x" << mask.cols);
+  CompressedNM out;
+  out.config = mask.config;
+  out.orig_rows = mask.orig_rows;
+  out.cols = mask.cols;
+  out.indices = mask.keep;
+  const index_t w = mask.compressed_rows();
+  const index_t q = mask.num_groups();
+  const index_t L = mask.config.vector_length;
+  out.values = MatrixF(w, mask.cols);
+  out.values.zero();
+  for (index_t u = 0; u < w; ++u) {
+    float* dst = out.values.row(u);
+    for (index_t g = 0; g < q; ++g) {
+      const index_t src_row = mask.source_row(u, g);
+      const index_t c0 = g * L;
+      const index_t c1 = std::min<index_t>(c0 + L, mask.cols);
+      if (src_row >= B.rows()) continue;  // window padding: stays zero
+      const float* src = B.row(src_row);
+      for (index_t c = c0; c < c1; ++c) dst[c] = src[c];
+    }
+  }
+  return out;
+}
+
+MatrixF decompress(const CompressedNM& compressed) {
+  const index_t k = compressed.orig_rows;
+  const index_t n = compressed.cols;
+  const index_t L = compressed.config.vector_length;
+  MatrixF dense(k, n);
+  dense.zero();
+  for (index_t u = 0; u < compressed.rows(); ++u) {
+    const float* src = compressed.values.row(u);
+    for (index_t g = 0; g < compressed.num_groups(); ++g) {
+      const index_t dst_row = compressed.source_row(u, g);
+      if (dst_row >= k) continue;
+      const index_t c0 = g * L;
+      const index_t c1 = std::min<index_t>(c0 + L, n);
+      float* dst = dense.row(dst_row);
+      for (index_t c = c0; c < c1; ++c) dst[c] = src[c];
+    }
+  }
+  return dense;
+}
+
+bool matches_mask(ConstViewF B, const NMMask& mask) {
+  if (B.rows() != mask.orig_rows || B.cols() != mask.cols) return false;
+  const index_t L = mask.config.vector_length;
+  const int m = mask.config.m;
+  const int n = mask.config.n;
+  for (index_t g = 0; g < mask.num_groups(); ++g) {
+    const index_t c0 = g * L;
+    const index_t c1 = std::min<index_t>(c0 + L, mask.cols);
+    for (index_t t = 0; t * m < B.rows(); ++t) {
+      // Collect kept offsets of this window/group.
+      bool kept[256] = {};
+      for (int s = 0; s < n; ++s) kept[mask.keep(t * n + s, g)] = true;
+      for (int r = 0; r < m; ++r) {
+        const index_t row = t * static_cast<index_t>(m) + r;
+        if (row >= B.rows() || kept[r]) continue;
+        for (index_t c = c0; c < c1; ++c)
+          if (B(row, c) != 0.0f) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace nmspmm

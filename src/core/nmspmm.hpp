@@ -1,0 +1,12 @@
+// Umbrella header: everything a downstream user of the NM-SpMM library
+// needs. Individual headers stay usable on their own.
+#pragma once
+
+#include "core/col_info.hpp"     // IWYU pragma: export
+#include "core/kernel_params.hpp" // IWYU pragma: export
+#include "core/nm_config.hpp"    // IWYU pragma: export
+#include "core/nm_format.hpp"    // IWYU pragma: export
+#include "core/pruning.hpp"      // IWYU pragma: export
+#include "core/spmm.hpp"         // IWYU pragma: export
+#include "core/spmm_kernels.hpp" // IWYU pragma: export
+#include "core/spmm_ref.hpp"     // IWYU pragma: export

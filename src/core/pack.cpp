@@ -1,0 +1,46 @@
+#include "core/pack.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nmspmm::detail {
+
+void pack_a_full(ConstViewF A, index_t i0, index_t mb, index_t k0, index_t kb,
+                 float* apack, index_t lda) {
+  const index_t k_real = std::min(kb, A.cols() - k0);
+  for (index_t i = 0; i < mb; ++i) {
+    const float* src = A.row(i0 + i) + k0;
+    float* dst = apack + i * lda;
+    std::memcpy(dst, src, static_cast<std::size_t>(k_real) * sizeof(float));
+    for (index_t c = k_real; c < kb; ++c) dst[c] = 0.0f;
+  }
+}
+
+void pack_a_cols(ConstViewF A, index_t i0, index_t mb, index_t k0,
+                 std::span<const std::int32_t> cols, float* apack,
+                 index_t lda) {
+  const index_t k_limit = A.cols() - k0;
+  const index_t nc = static_cast<index_t>(cols.size());
+  for (index_t i = 0; i < mb; ++i) {
+    const float* __restrict__ src = A.row(i0 + i) + k0;
+    float* __restrict__ dst = apack + i * lda;
+    for (index_t cc = 0; cc < nc; ++cc) {
+      const index_t local = cols[static_cast<std::size_t>(cc)];
+      // Columns past the real depth belong to window padding; their B'
+      // rows are zero, so the staged value only needs to be in-bounds.
+      dst[cc] = local < k_limit ? src[local] : 0.0f;
+    }
+  }
+}
+
+void pack_b_block(ConstViewF B, index_t u0, index_t wb, index_t j0,
+                  index_t nb, float* bpack, index_t ldb) {
+  for (index_t u = 0; u < wb; ++u) {
+    const float* src = B.row(u0 + u) + j0;
+    float* dst = bpack + u * ldb;
+    std::memcpy(dst, src, static_cast<std::size_t>(nb) * sizeof(float));
+    for (index_t j = nb; j < ldb; ++j) dst[j] = 0.0f;
+  }
+}
+
+}  // namespace nmspmm::detail

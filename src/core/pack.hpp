@@ -1,0 +1,32 @@
+// Packing (copy-in) helpers shared by the NM-SpMM kernels and the dense
+// baseline — the CPU analog of staging As / Bs into shared memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/matrix.hpp"
+
+namespace nmspmm::detail {
+
+/// Stage A[i0..i0+mb) x [k0..k0+kb) row-major into apack (row stride
+/// @p lda >= kb). Columns past the end of A (window padding) are
+/// zero-filled. Used by the non-packing strategy only when the chunk
+/// overlaps the padded tail (everywhere else A is read in place).
+void pack_a_full(ConstViewF A, index_t i0, index_t mb, index_t k0, index_t kb,
+                 float* apack, index_t lda);
+
+/// Gather only the columns listed in @p cols (local offsets within
+/// [k0, k0+kb)) into a dense row-major panel (row stride @p lda >=
+/// cols.size()) — the packing strategy of §III-C1: the staged footprint
+/// shrinks from ms*ks to ms*|cols| and the kernels address it through
+/// the reordered index matrix.
+void pack_a_cols(ConstViewF A, index_t i0, index_t mb, index_t k0,
+                 std::span<const std::int32_t> cols, float* apack,
+                 index_t lda);
+
+/// Pack B'[u0..u0+wb) x [j0..j0+nb) row-major into bpack (ld @p ldb).
+void pack_b_block(ConstViewF B, index_t u0, index_t wb, index_t j0,
+                  index_t nb, float* bpack, index_t ldb);
+
+}  // namespace nmspmm::detail

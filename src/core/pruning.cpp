@@ -1,0 +1,131 @@
+#include "core/pruning.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace nmspmm {
+
+namespace {
+
+NMMask make_empty_mask(index_t k, index_t n, const NMConfig& config) {
+  config.validate();
+  NMSPMM_CHECK_MSG(k >= 1 && n >= 1, "matrix must be non-empty");
+  NMMask mask;
+  mask.config = config;
+  mask.orig_rows = k;
+  mask.cols = n;
+  mask.keep =
+      Matrix<std::uint8_t>(config.compressed_rows(k), config.num_groups(n));
+  return mask;
+}
+
+}  // namespace
+
+NMMask magnitude_mask(ConstViewF B, const NMConfig& config) {
+  NMMask mask = make_empty_mask(B.rows(), B.cols(), config);
+  const int n = config.n;
+  const int m = config.m;
+  const index_t L = config.vector_length;
+  const index_t windows = ceil_div(B.rows(), m);
+  std::vector<double> score(static_cast<std::size_t>(m));
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (index_t g = 0; g < mask.num_groups(); ++g) {
+    const index_t c0 = g * L;
+    const index_t c1 = std::min<index_t>(c0 + L, B.cols());
+    for (index_t t = 0; t < windows; ++t) {
+      for (int r = 0; r < m; ++r) {
+        const index_t row = t * m + r;
+        double s = 0.0;
+        if (row < B.rows()) {
+          const float* p = B.row(row);
+          for (index_t c = c0; c < c1; ++c)
+            s += static_cast<double>(p[c]) * static_cast<double>(p[c]);
+        }
+        score[static_cast<std::size_t>(r)] = s;
+      }
+      std::iota(order.begin(), order.end(), 0);
+      // Keep the N largest; stable tie-break toward smaller row index.
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return score[static_cast<std::size_t>(a)] >
+               score[static_cast<std::size_t>(b)];
+      });
+      std::sort(order.begin(), order.begin() + n);
+      for (int s = 0; s < n; ++s)
+        mask.keep(t * n + s, g) =
+            static_cast<std::uint8_t>(order[static_cast<std::size_t>(s)]);
+    }
+  }
+  return mask;
+}
+
+NMMask random_mask(index_t k, index_t n, const NMConfig& config, Rng& rng) {
+  NMMask mask = make_empty_mask(k, n, config);
+  const int nn = config.n;
+  const int m = config.m;
+  std::vector<int> pool(static_cast<std::size_t>(m));
+  const index_t windows = ceil_div(k, m);
+  for (index_t t = 0; t < windows; ++t) {
+    for (index_t g = 0; g < mask.num_groups(); ++g) {
+      std::iota(pool.begin(), pool.end(), 0);
+      // Partial Fisher-Yates: draw N distinct offsets, then sort them.
+      for (int s = 0; s < nn; ++s) {
+        const auto j =
+            s + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m - s)));
+        std::swap(pool[static_cast<std::size_t>(s)],
+                  pool[static_cast<std::size_t>(j)]);
+      }
+      std::sort(pool.begin(), pool.begin() + nn);
+      for (int s = 0; s < nn; ++s)
+        mask.keep(t * nn + s, g) =
+            static_cast<std::uint8_t>(pool[static_cast<std::size_t>(s)]);
+    }
+  }
+  return mask;
+}
+
+NMMask identical_pattern_mask(index_t k, index_t n, const NMConfig& config,
+                              Rng& rng) {
+  NMMask mask = make_empty_mask(k, n, config);
+  const int nn = config.n;
+  const int m = config.m;
+  std::vector<int> pool(static_cast<std::size_t>(m));
+  const index_t windows = ceil_div(k, m);
+  for (index_t t = 0; t < windows; ++t) {
+    std::iota(pool.begin(), pool.end(), 0);
+    for (int s = 0; s < nn; ++s) {
+      const auto j =
+          s + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m - s)));
+      std::swap(pool[static_cast<std::size_t>(s)],
+                pool[static_cast<std::size_t>(j)]);
+    }
+    std::sort(pool.begin(), pool.begin() + nn);
+    for (index_t g = 0; g < mask.num_groups(); ++g)
+      for (int s = 0; s < nn; ++s)
+        mask.keep(t * nn + s, g) =
+            static_cast<std::uint8_t>(pool[static_cast<std::size_t>(s)]);
+  }
+  return mask;
+}
+
+MatrixF apply_mask(ConstViewF B, const NMMask& mask) {
+  NMSPMM_CHECK(B.rows() == mask.orig_rows && B.cols() == mask.cols);
+  CompressedNM compressed = compress(B, mask);
+  return decompress(compressed);
+}
+
+double approximation_error(ConstViewF c_exact, ConstViewF c_approx) {
+  NMSPMM_CHECK(c_exact.rows() == c_approx.rows() &&
+               c_exact.cols() == c_approx.cols());
+  double total = 0.0;
+  for (index_t r = 0; r < c_exact.rows(); ++r)
+    for (index_t c = 0; c < c_exact.cols(); ++c)
+      total += std::abs(static_cast<double>(c_exact(r, c)) -
+                        static_cast<double>(c_approx(r, c)));
+  return total / (static_cast<double>(c_exact.rows()) *
+                  static_cast<double>(c_exact.cols()));
+}
+
+}  // namespace nmspmm

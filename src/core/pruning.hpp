@@ -1,0 +1,39 @@
+// Vector-wise N:M pruning (mask construction) and the approximation-error
+// metric of Eq. 2.
+//
+// These are the "algorithm side" entry points: a model's dense weight
+// matrix goes through one of the mask builders, then compress() packs the
+// surviving vectors for the kernels. Magnitude pruning keeps the N
+// vectors with the largest L2 norm per pruning window — the standard
+// one-shot criterion the N:M literature fine-tunes from.
+#pragma once
+
+#include "core/nm_format.hpp"
+#include "util/rng.hpp"
+
+namespace nmspmm {
+
+/// Keep the N vectors with the largest L2 norm inside every MxL pruning
+/// window of dense @p B (ties broken toward the smaller row index, so the
+/// result is deterministic).
+NMMask magnitude_mask(ConstViewF B, const NMConfig& config);
+
+/// Keep N uniformly random vectors per window. Used by benchmarks so the
+/// kernels see index distributions with no magnitude structure.
+NMMask random_mask(index_t k, index_t n, const NMConfig& config, Rng& rng);
+
+/// Every window in a compressed row uses the same offsets; this is the
+/// packing best case the paper calls out (memory access minimizes to N/M).
+NMMask identical_pattern_mask(index_t k, index_t n, const NMConfig& config,
+                              Rng& rng);
+
+/// Zero out all positions of @p B not selected by @p mask; returns the
+/// pruned dense matrix (same shape as B).
+MatrixF apply_mask(ConstViewF B, const NMMask& mask);
+
+/// Mean absolute elementwise deviation between the approximate product C'
+/// and the exact product C — the confusion matrix W of Eq. 2, reduced to
+/// its mean (the paper defines W elementwise; the scalar is its average).
+double approximation_error(ConstViewF c_exact, ConstViewF c_approx);
+
+}  // namespace nmspmm

@@ -1,0 +1,102 @@
+#include "core/spmm.hpp"
+
+#include "core/spmm_ref.hpp"
+
+namespace nmspmm {
+
+SpmmPlan SpmmPlan::create(index_t m, CompressedNM B, SpmmOptions options) {
+  return create(m, std::make_shared<const CompressedNM>(std::move(B)),
+                std::move(options));
+}
+
+SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
+                          SpmmOptions options) {
+  NMSPMM_CHECK(B != nullptr);
+  NMSPMM_CHECK_MSG(m >= 1, "planned batch m must be positive");
+  B->config.validate();
+  SpmmPlan plan;
+  plan.weights_ = std::move(B);
+  plan.options_ = options;
+
+  const CompressedNM& w = *plan.weights_;
+  plan.params_ = options.params.value_or(
+      make_params(m, w.cols, w.orig_rows, w.config, options.smem_bytes));
+  if (plan.params_.ks == 0) {
+    plan.params_.ks = derive_ks(w.config, plan.params_.ms, plan.params_.ns,
+                                options.smem_bytes, w.orig_rows);
+  }
+  validate_params(plan.params_, w.config, options.smem_bytes, w.orig_rows);
+
+  switch (options.packing) {
+    case PackingMode::kAlways: plan.use_packing_ = true; break;
+    case PackingMode::kNever: plan.use_packing_ = false; break;
+    case PackingMode::kPaperRule:
+      plan.use_packing_ = w.config.is_high_sparsity();
+      break;
+    case PackingMode::kAuto:
+      // CPU calibration: hardware caches already deliver the footprint
+      // reduction packing buys on the GPU, so the non-packed path wins
+      // at every sparsity level (measured in bench_ablation).
+      plan.use_packing_ = false;
+      break;
+  }
+  // V1 never packs; V2 is defined as the packing kernel.
+  if (options.variant == KernelVariant::kV1 ||
+      options.variant == KernelVariant::kReference) {
+    plan.use_packing_ = false;
+  }
+  if (options.variant == KernelVariant::kV2) plan.use_packing_ = true;
+
+  // Offline pre-processing (Listing 3 lines 2-6 / resolve_indices).
+  if (plan.use_packing_) {
+    plan.col_info_ = build_col_info(w, plan.params_.ks, plan.params_.ns);
+  }
+  if (options.variant == KernelVariant::kV3 && !plan.use_packing_) {
+    plan.resolved_ = resolve_indices(w);
+  }
+  return plan;
+}
+
+void SpmmPlan::execute(ConstViewF A, ViewF C) const {
+  const CompressedNM& B = *weights_;
+  NMSPMM_CHECK_MSG(A.cols() == B.orig_rows,
+                   "A depth " << A.cols() << " != weights k " << B.orig_rows);
+  NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
+  switch (options_.variant) {
+    case KernelVariant::kReference:
+      spmm_reference(A, B, C, options_.rescale);
+      return;
+    case KernelVariant::kV1:
+      spmm_v1(A, B, C, params_);
+      break;
+    case KernelVariant::kV2:
+      spmm_v2(A, B, C, params_, *col_info_);
+      break;
+    case KernelVariant::kV3:
+      spmm_v3(A, B, C, params_, use_packing_,
+              col_info_ ? &*col_info_ : nullptr,
+              resolved_ ? &*resolved_ : nullptr);
+      break;
+  }
+  if (options_.rescale) {
+    const float scale = static_cast<float>(B.config.m) /
+                        static_cast<float>(B.config.n);
+    for (index_t r = 0; r < C.rows(); ++r) {
+      float* row = C.row(r);
+      for (index_t c = 0; c < C.cols(); ++c) row[c] *= scale;
+    }
+  }
+}
+
+double SpmmPlan::packing_ratio() const {
+  return col_info_ ? col_info_->mean_packing_ratio() : 1.0;
+}
+
+void nm_spmm(ConstViewF A, const CompressedNM& B, ViewF C,
+             SpmmOptions options) {
+  auto shared = std::make_shared<const CompressedNM>(B);  // copy: one-shot API
+  SpmmPlan::create(A.rows(), std::move(shared), std::move(options))
+      .execute(A, C);
+}
+
+}  // namespace nmspmm

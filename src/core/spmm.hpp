@@ -1,0 +1,81 @@
+// Public NM-SpMM entry point.
+//
+// SpmmPlan mirrors the workflow of the released library: build a plan
+// once per weight matrix (offline pre-processing: parameter selection,
+// col_info, index reordering), then execute it per activation batch.
+//
+//   auto Bc   = nmspmm::compress(B.view(), nmspmm::magnitude_mask(B.view(), cfg));
+//   auto plan = nmspmm::SpmmPlan::create(m, std::move(Bc));
+//   plan.execute(A.view(), C.view());
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/col_info.hpp"
+#include "core/kernel_params.hpp"
+#include "core/nm_format.hpp"
+#include "core/spmm_kernels.hpp"
+
+namespace nmspmm {
+
+/// Packing strategy selection (Section III-C1).
+///  - kAuto: platform-calibrated sparsity-aware choice. On CPU the cache
+///    hierarchy already skips unused lines, so explicit packing never
+///    recovers its gather cost and kAuto selects the non-packed path
+///    (see EXPERIMENTS.md, substrate differences).
+///  - kPaperRule: the paper's GPU rule — pack above the 70% threshold.
+///  - kAlways / kNever: force a path (ablations, testing).
+enum class PackingMode { kAuto, kPaperRule, kAlways, kNever };
+
+struct SpmmOptions {
+  /// kV3 is the full NM-SpMM; kV1/kV2 exist for the step-wise ablation.
+  KernelVariant variant = KernelVariant::kV3;
+  PackingMode packing = PackingMode::kAuto;
+  /// Override the Table I preset (ks of 0 is derived from Eq. 4).
+  std::optional<BlockingParams> params;
+  /// Shared-memory budget used when deriving ks (defaults to the A100's
+  /// 192 KiB per-SM shared memory, which also matches CPU L2 blocking).
+  std::size_t smem_bytes = 192 * 1024;
+  /// Apply the Eq. 1 M/N rescale (off for magnitude-pruned inference).
+  bool rescale = false;
+};
+
+class SpmmPlan {
+ public:
+  /// Build a plan for products with m rows of activations against the
+  /// compressed weights @p B. Performs all offline pre-processing the
+  /// selected variant needs.
+  static SpmmPlan create(index_t m, CompressedNM B, SpmmOptions options = {});
+  /// Convenience overload sharing an existing compressed matrix.
+  static SpmmPlan create(index_t m, std::shared_ptr<const CompressedNM> B,
+                         SpmmOptions options = {});
+
+  /// C = A (*) (B, D). A must be m' x k with m' <= the planned m
+  /// (the blocking stays valid for smaller batches); C must be m' x n.
+  void execute(ConstViewF A, ViewF C) const;
+
+  [[nodiscard]] const BlockingParams& params() const { return params_; }
+  [[nodiscard]] KernelVariant variant() const { return options_.variant; }
+  [[nodiscard]] bool uses_packing() const { return use_packing_; }
+  [[nodiscard]] const CompressedNM& weights() const { return *weights_; }
+  /// col_info packing ratio (1.0 when the plan does not pack).
+  [[nodiscard]] double packing_ratio() const;
+
+ private:
+  SpmmPlan() = default;
+
+  std::shared_ptr<const CompressedNM> weights_;
+  SpmmOptions options_;
+  BlockingParams params_;
+  bool use_packing_ = false;
+  std::optional<ColInfo> col_info_;
+  std::optional<Matrix<std::int32_t>> resolved_;
+};
+
+/// One-shot convenience wrapper: plan + execute. Prefer SpmmPlan when the
+/// same weights are reused.
+void nm_spmm(ConstViewF A, const CompressedNM& B, ViewF C,
+             SpmmOptions options = {});
+
+}  // namespace nmspmm

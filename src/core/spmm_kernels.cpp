@@ -1,0 +1,319 @@
+#include "core/spmm_kernels.hpp"
+
+#include <vector>
+
+#include "core/micro_kernel.hpp"
+#include "core/pack.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmspmm {
+
+const char* to_string(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kReference: return "reference";
+    case KernelVariant::kV1: return "V1";
+    case KernelVariant::kV2: return "V2";
+    case KernelVariant::kV3: return "V3";
+  }
+  return "?";
+}
+
+namespace {
+
+using detail::APanel;
+using detail::kMicroM;
+using detail::kMicroN;
+
+/// Context of one (k-chunk, n-block) tile handed to the policies.
+struct TileCtx {
+  index_t chunk = 0;    ///< k-chunk index
+  index_t nblock = 0;   ///< n-block index
+  index_t u0 = 0;       ///< first compressed row of the chunk
+  index_t wb = 0;       ///< compressed rows in this chunk
+  index_t k0 = 0;       ///< first original-k column of the chunk
+  index_t kb = 0;       ///< original-k extent (<= ks)
+};
+
+/// The non-packing strategy (Section III-C1): the kernel reads the whole
+/// ks-wide working set of A in place — the CPU cache hierarchy stands in
+/// for the staged shared-memory copy. When the chunk reaches past the
+/// real depth of A (window padding), a zero-filled staging copy is used
+/// instead so out-of-range columns read as zero.
+APanel prepare_a_direct(const TileCtx& t, ConstViewF A, index_t i0,
+                        index_t mb, std::vector<float>& scratch,
+                        index_t lda) {
+  if (t.k0 + t.kb <= A.cols()) {
+    return APanel{A.data() + i0 * A.ld() + t.k0, A.ld(), 1};
+  }
+  detail::pack_a_full(A, i0, mb, t.k0, t.kb, scratch.data(), lda);
+  return APanel{scratch.data(), lda, 1};
+}
+
+/// Policy for V1: non-packed A, indices resolved from D on the fly
+/// inside the inner kernel.
+struct PolicyV1 {
+  const CompressedNM& B;
+
+  static constexpr bool kPrefetch = false;
+
+  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
+                   std::vector<float>& scratch, index_t lda) const {
+    return prepare_a_direct(t, A, i0, mb, scratch, lda);
+  }
+
+  /// No per-group preparation; the index functor reads D directly.
+  void prepare_group(const TileCtx&, index_t, index_t,
+                     std::uint16_t*) const {}
+
+  detail::IdxFromD idx_fn(const TileCtx& t, index_t g_global,
+                          const std::uint16_t*) const {
+    return detail::IdxFromD{B.indices.row(t.u0) + g_global, B.indices.ld(),
+                            B.config.n, B.config.m};
+  }
+};
+
+/// Policy for V2: stage only the col_info columns (packing strategy);
+/// indices come from the offline-reordered matrix and already name
+/// packed columns.
+struct PolicyV2 {
+  const CompressedNM& B;
+  const ColInfo& col_info;
+
+  static constexpr bool kPrefetch = false;
+
+  const PackPlan& plan(const TileCtx& t) const {
+    return col_info.plan(t.chunk, t.nblock);
+  }
+
+  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
+                   std::vector<float>& scratch, index_t lda) const {
+    detail::pack_a_cols(A, i0, mb, t.k0, plan(t).cols, scratch.data(), lda);
+    return APanel{scratch.data(), lda, 1};
+  }
+
+  void prepare_group(const TileCtx&, index_t, index_t,
+                     std::uint16_t*) const {}
+
+  detail::IdxFromRemap idx_fn(const TileCtx& t, index_t g_global,
+                              const std::uint16_t*) const {
+    const PackPlan& p = plan(t);
+    const index_t g_base =
+        (t.nblock * col_info.ns()) / B.config.vector_length;
+    return detail::IdxFromRemap{p.remapped.row(0) + (g_global - g_base),
+                                p.remapped.ld()};
+  }
+};
+
+/// Policy for V3 on the packed (high-sparsity) path: like V2 but the
+/// group's index column is hoisted into a contiguous buffer first and
+/// the micro kernel prefetches ahead.
+struct PolicyV3Packed {
+  const CompressedNM& B;
+  const ColInfo& col_info;
+
+  static constexpr bool kPrefetch = true;
+
+  const PackPlan& plan(const TileCtx& t) const {
+    return col_info.plan(t.chunk, t.nblock);
+  }
+
+  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
+                   std::vector<float>& scratch, index_t lda) const {
+    detail::pack_a_cols(A, i0, mb, t.k0, plan(t).cols, scratch.data(), lda);
+    return APanel{scratch.data(), lda, 1};
+  }
+
+  void prepare_group(const TileCtx& t, index_t g_global, index_t,
+                     std::uint16_t* idxbuf) const {
+    const PackPlan& p = plan(t);
+    const index_t g_base =
+        (t.nblock * col_info.ns()) / B.config.vector_length;
+    const std::uint16_t* src = p.remapped.row(0) + (g_global - g_base);
+    const index_t stride = p.remapped.ld();
+    for (index_t i = 0; i < t.wb; ++i) idxbuf[i] = src[i * stride];
+  }
+
+  detail::IdxFromBuffer idx_fn(const TileCtx&, index_t,
+                               const std::uint16_t* idxbuf) const {
+    return detail::IdxFromBuffer{idxbuf};
+  }
+};
+
+/// Policy for V3 on the non-packed (moderate-sparsity) path: direct A
+/// reads like V1, but with indices pre-resolved offline and hoisted per
+/// group (Listing 4's register prefetch of Ds).
+struct PolicyV3NonPacked {
+  const CompressedNM& B;
+  const Matrix<std::int32_t>& resolved;
+
+  static constexpr bool kPrefetch = true;
+
+  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
+                   std::vector<float>& scratch, index_t lda) const {
+    return prepare_a_direct(t, A, i0, mb, scratch, lda);
+  }
+
+  void prepare_group(const TileCtx& t, index_t g_global, index_t,
+                     std::uint16_t* idxbuf) const {
+    for (index_t i = 0; i < t.wb; ++i)
+      idxbuf[i] = static_cast<std::uint16_t>(resolved(t.u0 + i, g_global) -
+                                             t.k0);
+  }
+
+  detail::IdxFromBuffer idx_fn(const TileCtx&, index_t,
+                               const std::uint16_t* idxbuf) const {
+    return detail::IdxFromBuffer{idxbuf};
+  }
+};
+
+/// Run the strip decomposition of one (group-segment x m-tile): full
+/// kMicroM x kMicroN tiles on the fast path, runtime-bounded tails at the
+/// ragged edges.
+template <bool Prefetch, class IdxFn>
+void run_segment(index_t wb, APanel a, const float* bpack, index_t ldb,
+                 index_t b_off, const IdxFn& idx_proto, index_t mb,
+                 float* c_block, index_t ldc, index_t seg_off,
+                 index_t seg_w) {
+  for (index_t i0 = 0; i0 < mb; i0 += kMicroM) {
+    const int mt = static_cast<int>(std::min<index_t>(kMicroM, mb - i0));
+    const APanel a_tile = a.shifted_rows(i0);
+    index_t j = 0;
+    while (j < seg_w) {
+      const index_t rem = seg_w - j;
+      // Widest vector strip that fits: 16, then 8, then 4 (the fast
+      // paths for L = 16/8/4 pruning units), else the scalar tail.
+      const index_t jw = rem >= 16 ? 16 : (rem >= 8 ? 8 : (rem >= 4 ? 4 : rem));
+      float* c = c_block + i0 * ldc + seg_off + j;
+      const float* b = bpack + b_off + j;
+      IdxFn idx = idx_proto;  // fresh (possibly stateful) index stream
+      if (mt == kMicroM && jw == 16) {
+        detail::micro_kernel<kMicroM, 16, Prefetch>(wb, a_tile, b, ldb, idx,
+                                                    c, ldc);
+      } else if (mt == kMicroM && jw == 8) {
+        detail::micro_kernel<kMicroM, 8, Prefetch>(wb, a_tile, b, ldb, idx,
+                                                   c, ldc);
+      } else if (mt == kMicroM && jw == 4) {
+        detail::micro_kernel<kMicroM, 4, Prefetch>(wb, a_tile, b, ldb, idx,
+                                                   c, ldc);
+      } else {
+        detail::micro_kernel_tail(wb, a_tile, b, ldb, idx, mt,
+                                  static_cast<int>(jw), c, ldc);
+      }
+      j += jw;
+    }
+  }
+}
+
+/// Shared blocked driver (Listing 1 structure): loop n-blocks, k-chunks,
+/// m-blocks; stage Bs once per (n-block, chunk), prepare A per m-block;
+/// iterate pruning-window column groups inside.
+template <class Policy>
+void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
+                  const BlockingParams& prm, const Policy& policy) {
+  const NMConfig& cfg = B.config;
+  NMSPMM_CHECK(A.cols() == B.orig_rows);
+  NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
+  validate_params(prm, cfg, static_cast<std::size_t>(-1), A.cols());
+
+  const index_t m = A.rows();
+  const index_t n = B.cols;
+  const index_t pk = cfg.padded_k(A.cols());
+  const index_t ws_full = prm.ws(cfg);
+  const index_t num_chunks = ceil_div(pk, prm.ks);
+  const index_t num_nblocks = ceil_div(n, prm.ns);
+  const index_t num_mblocks = ceil_div(m, prm.ms);
+  const index_t L = cfg.vector_length;
+
+  // Staged A panels are row-major: row stride covers a full chunk depth.
+  const index_t lda = static_cast<index_t>(round_up(
+      static_cast<std::size_t>(prm.ks), 16));
+  const index_t ldb = static_cast<index_t>(round_up(
+      static_cast<std::size_t>(prm.ns), 16));
+
+  parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t r = lo; r < hi; ++r)
+      std::fill_n(C.row(r), n, 0.0f);
+  });
+
+  std::vector<float> bpack_storage(
+      static_cast<std::size_t>(ws_full * ldb));
+  float* bpack = bpack_storage.data();
+
+  for (index_t nb = 0; nb < num_nblocks; ++nb) {
+    const index_t j0 = nb * prm.ns;
+    const index_t jb = std::min(prm.ns, n - j0);
+    const index_t g0 = j0 / L;
+    const index_t g1 = ceil_div(j0 + jb, L);
+    for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
+      TileCtx t;
+      t.chunk = chunk;
+      t.nblock = nb;
+      t.k0 = chunk * prm.ks;
+      t.kb = std::min(prm.ks, pk - t.k0);
+      t.u0 = chunk * ws_full;
+      t.wb = std::min(ws_full, B.rows() - t.u0);
+
+      detail::pack_b_block(B.values.view(), t.u0, t.wb, j0, jb, bpack, ldb);
+
+      parallel_for(0, num_mblocks, [&](index_t mb_lo, index_t mb_hi) {
+        std::vector<float> a_scratch(
+            static_cast<std::size_t>(prm.ms * lda));
+        std::vector<std::uint16_t> idxbuf(static_cast<std::size_t>(t.wb));
+        for (index_t mb_idx = mb_lo; mb_idx < mb_hi; ++mb_idx) {
+          const index_t i0 = mb_idx * prm.ms;
+          const index_t mb = std::min(prm.ms, m - i0);
+          const APanel a = policy.prepare_a(t, A, i0, mb, a_scratch, lda);
+          for (index_t g = g0; g < g1; ++g) {
+            const index_t seg_lo = std::max(g * L, j0);
+            const index_t seg_hi = std::min((g + 1) * L, j0 + jb);
+            policy.prepare_group(t, g, g - g0, idxbuf.data());
+            auto idx_proto = policy.idx_fn(t, g, idxbuf.data());
+            run_segment<Policy::kPrefetch>(t.wb, a, bpack, ldb, seg_lo - j0,
+                                           idx_proto, mb, C.row(i0) + j0,
+                                           C.ld(), seg_lo - j0,
+                                           seg_hi - seg_lo);
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params) {
+  PolicyV1 policy{B};
+  spmm_blocked(A, B, C, params, policy);
+}
+
+void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, const ColInfo& col_info) {
+  NMSPMM_CHECK_MSG(col_info.ks() == params.ks && col_info.ns() == params.ns,
+                   "col_info was built for ks=" << col_info.ks() << " ns="
+                       << col_info.ns() << " but kernel uses "
+                       << params.to_string());
+  PolicyV2 policy{B, col_info};
+  spmm_blocked(A, B, C, params, policy);
+}
+
+void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, bool use_packing,
+             const ColInfo* col_info,
+             const Matrix<std::int32_t>* resolved) {
+  if (use_packing) {
+    NMSPMM_CHECK_MSG(col_info != nullptr,
+                     "V3 packed path requires col_info preprocessing");
+    NMSPMM_CHECK(col_info->ks() == params.ks && col_info->ns() == params.ns);
+    PolicyV3Packed policy{B, *col_info};
+    spmm_blocked(A, B, C, params, policy);
+  } else {
+    NMSPMM_CHECK_MSG(resolved != nullptr,
+                     "V3 non-packed path requires resolve_indices()");
+    NMSPMM_CHECK(resolved->rows() == B.rows());
+    PolicyV3NonPacked policy{B, *resolved};
+    spmm_blocked(A, B, C, params, policy);
+  }
+}
+
+}  // namespace nmspmm

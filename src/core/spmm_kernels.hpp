@@ -1,0 +1,46 @@
+// The optimization ladder of Section III / Figure 7:
+//   V1 — hierarchical blocking (Listings 1-2): cache/register tiling, A
+//        staged in full (non-packing), indices resolved from D inline.
+//   V2 — V1 + sparsity-aware memory access (Listing 3): A staged through
+//        col_info packing with the offline-reordered index matrix.
+//   V3 — V2 + pipeline design (Listing 4): per-group index hoisting into
+//        a register buffer, software prefetch, and sparsity-aware choice
+//        between the packed (high sparsity) and non-packed (moderate
+//        sparsity) paths.
+// All kernels overwrite C with A (*) (B, D); correctness oracle is
+// spmm_reference().
+#pragma once
+
+#include "core/col_info.hpp"
+#include "core/kernel_params.hpp"
+#include "core/nm_format.hpp"
+
+namespace nmspmm {
+
+enum class KernelVariant { kReference, kV1, kV2, kV3 };
+
+const char* to_string(KernelVariant v);
+
+void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params);
+
+/// @p col_info must have been built with the same (ks, ns) as @p params.
+void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, const ColInfo& col_info);
+
+/// @p use_packing selects the high-sparsity packed pipeline (requires
+/// @p col_info) or the moderate-sparsity non-packed pipeline (requires
+/// @p resolved from resolve_indices()).
+void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, bool use_packing,
+             const ColInfo* col_info,
+             const Matrix<std::int32_t>* resolved);
+
+/// FLOP count of the sparse product (2*m*n*w), the numerator of every
+/// efficiency number in the evaluation.
+inline double spmm_flops(index_t m, index_t n, index_t w) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(w);
+}
+
+}  // namespace nmspmm

@@ -1,0 +1,77 @@
+#include "gpusim/gpu_spec.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nmspmm::gpusim {
+
+GpuSpec a100_80g() {
+  GpuSpec s;
+  s.name = "A100-80G";
+  s.boost_clock_mhz = 1410;
+  s.peak_fp32_tflops = 19.5;
+  s.num_sms = 108;
+  s.register_file_bytes_per_sm = 256 * 1024;
+  s.fp32_cores_per_sm = 64;
+  s.fp32_flops_per_clock_per_sm = 128;
+  s.max_smem_bytes_per_sm = 192 * 1024;
+  s.l2_cache_bytes = 40e6;
+  s.dram_bytes = 80e9;
+  s.dram_bandwidth_gbps = 1935;
+  s.l2_bandwidth_gbps = 4800;  // microbenchmarked aggregate L2 read BW
+  s.sustained_fp32_tflops = 14.7;  // NCU-locked clock, measured in the paper
+  return s;
+}
+
+GpuSpec rtx3090() {
+  GpuSpec s;
+  s.name = "RTX-3090";
+  s.boost_clock_mhz = 1695;
+  s.peak_fp32_tflops = 35.6;
+  s.num_sms = 82;
+  s.register_file_bytes_per_sm = 256 * 1024;
+  s.fp32_cores_per_sm = 128;
+  s.fp32_flops_per_clock_per_sm = 256;
+  s.max_smem_bytes_per_sm = 128 * 1024;
+  s.l2_cache_bytes = 6e6;
+  s.dram_bytes = 24e9;
+  s.dram_bandwidth_gbps = 936;
+  s.l2_bandwidth_gbps = 3200;  // microbenchmarked aggregate L2 read BW
+  s.sustained_fp32_tflops = 26.7;  // ~0.75 of boost-clock peak
+  return s;
+}
+
+GpuSpec rtx4090() {
+  GpuSpec s;
+  s.name = "RTX-4090";
+  s.boost_clock_mhz = 2520;
+  s.peak_fp32_tflops = 82.6;
+  s.num_sms = 128;
+  s.register_file_bytes_per_sm = 256 * 1024;
+  s.fp32_cores_per_sm = 128;
+  s.fp32_flops_per_clock_per_sm = 256;
+  s.max_smem_bytes_per_sm = 128 * 1024;
+  s.l2_cache_bytes = 72e6;
+  s.dram_bytes = 24e9;
+  s.dram_bandwidth_gbps = 1008;
+  s.l2_bandwidth_gbps = 5100;  // microbenchmarked aggregate L2 read BW
+  s.sustained_fp32_tflops = 62.0;  // ~0.75 of boost-clock peak
+  return s;
+}
+
+std::vector<GpuSpec> paper_gpus() { return {a100_80g(), rtx3090(), rtx4090()}; }
+
+GpuSpec gpu_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower.find("a100") != std::string::npos) return a100_80g();
+  if (lower.find("3090") != std::string::npos) return rtx3090();
+  if (lower.find("4090") != std::string::npos) return rtx4090();
+  NMSPMM_CHECK_MSG(false, "unknown GPU: " << name
+                                          << " (expected a100/3090/4090)");
+  return {};
+}
+
+}  // namespace nmspmm::gpusim

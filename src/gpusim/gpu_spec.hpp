@@ -1,0 +1,71 @@
+// GPU hardware registry (Table III of the paper) and derived metrics.
+//
+// The cost model and the roofline analysis are parameterized entirely by
+// these numbers, so reproducing the paper's A100 / RTX 3090 / RTX 4090
+// trends only requires the published spec sheet, not the hardware.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace nmspmm::gpusim {
+
+struct GpuSpec {
+  std::string name;
+  double boost_clock_mhz = 0.0;
+  double peak_fp32_tflops = 0.0;
+  int num_sms = 0;
+  int register_file_bytes_per_sm = 0;
+  int fp32_cores_per_sm = 0;
+  int fp32_flops_per_clock_per_sm = 0;  ///< 2 * cores (FMA counts twice)
+  int max_smem_bytes_per_sm = 0;        ///< L1+shared carveout
+  double l2_cache_bytes = 0.0;
+  double dram_bytes = 0.0;
+  double dram_bandwidth_gbps = 0.0;     ///< GB/s
+  /// Aggregate L2 read bandwidth (GB/s); public microbenchmark figures,
+  /// used when a kernel's whole working set is L2-resident.
+  double l2_bandwidth_gbps = 0.0;
+  int max_warps_per_sm = 64;
+  int warp_size = 32;
+  int max_registers_per_thread = 255;
+  /// Sustained FP32 throughput under profiling conditions (NCU locks the
+  /// SM clock near base): the paper measures 14.7 of 19.5 TFLOPS on the
+  /// A100 and normalizes Figure 10 against it. Consumer cards get the
+  /// same ~0.75 base/boost ratio.
+  double sustained_fp32_tflops = 0.0;
+
+  /// FLOP/s at boost clock computed from per-SM throughput; within a few
+  /// percent of the spec-sheet peak_fp32_tflops.
+  [[nodiscard]] double derived_peak_flops() const {
+    return boost_clock_mhz * 1e6 * num_sms * fp32_flops_per_clock_per_sm;
+  }
+  /// Arithmetic-intensity ridge point of the roofline (FLOP per byte).
+  [[nodiscard]] double ridge_point() const {
+    return peak_fp32_tflops * 1e12 / (dram_bandwidth_gbps * 1e9);
+  }
+  /// Ridge point at the sustained (clock-locked) throughput, the one the
+  /// paper's Figure 10 and the 70%-transition discussion use.
+  [[nodiscard]] double sustained_ridge_point() const {
+    return sustained_fp32_tflops * 1e12 / (dram_bandwidth_gbps * 1e9);
+  }
+  /// DRAM bytes one SM can move per clock, the g2s rate of the pipeline
+  /// model when all SMs stream concurrently.
+  [[nodiscard]] double bytes_per_clock_per_sm() const {
+    return dram_bandwidth_gbps * 1e9 / (boost_clock_mhz * 1e6) / num_sms;
+  }
+};
+
+/// Table III rows.
+GpuSpec a100_80g();
+GpuSpec rtx3090();
+GpuSpec rtx4090();
+
+/// All three evaluation GPUs in the paper's order.
+std::vector<GpuSpec> paper_gpus();
+
+/// Look up by (case-insensitive) name: "a100", "3090", "4090".
+GpuSpec gpu_by_name(const std::string& name);
+
+}  // namespace nmspmm::gpusim

@@ -1,0 +1,50 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nmspmm::gpusim {
+
+Occupancy compute_occupancy(const GpuSpec& gpu, const BlockResources& block) {
+  NMSPMM_CHECK_MSG(block.threads_per_block > 0,
+                   "block must have at least one thread");
+  NMSPMM_CHECK_MSG(block.registers_per_thread >= 1 &&
+                       block.registers_per_thread <=
+                           gpu.max_registers_per_thread,
+                   "registers per thread out of range: "
+                       << block.registers_per_thread);
+
+  const int warps_per_block =
+      static_cast<int>(ceil_div(block.threads_per_block, gpu.warp_size));
+
+  // Limit 1: warp slots.
+  const int by_warps = gpu.max_warps_per_sm / warps_per_block;
+  // Limit 2: register file (4 bytes per register).
+  const long regs_per_block = static_cast<long>(block.threads_per_block) *
+                              block.registers_per_thread * 4;
+  const int by_regs = static_cast<int>(
+      gpu.register_file_bytes_per_sm / std::max(regs_per_block, 1L));
+  // Limit 3: shared memory.
+  const int by_smem =
+      block.smem_bytes_per_block == 0
+          ? by_warps
+          : static_cast<int>(gpu.max_smem_bytes_per_sm /
+                             block.smem_bytes_per_block);
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::min({by_warps, by_regs, by_smem});
+  occ.limiter = occ.blocks_per_sm == by_smem && by_smem <= by_regs &&
+                        by_smem <= by_warps
+                    ? "smem"
+                    : (occ.blocks_per_sm == by_regs && by_regs <= by_warps
+                           ? "regs"
+                           : "warps");
+  occ.blocks_per_sm = std::max(occ.blocks_per_sm, 0);
+  occ.warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  occ.occupancy =
+      static_cast<double>(occ.warps_per_sm) / gpu.max_warps_per_sm;
+  return occ;
+}
+
+}  // namespace nmspmm::gpusim

@@ -1,0 +1,29 @@
+// SM occupancy model (Section III-B2's register/occupancy trade-off).
+//
+// Given a thread-block resource footprint (threads, registers/thread,
+// shared memory), compute how many blocks an SM can host concurrently and
+// the resulting warp occupancy — the quantity the paper balances against
+// CMAR when choosing thread-tile sizes.
+#pragma once
+
+#include "gpusim/gpu_spec.hpp"
+
+namespace nmspmm::gpusim {
+
+struct BlockResources {
+  int threads_per_block = 256;
+  int registers_per_thread = 80;
+  std::size_t smem_bytes_per_block = 0;
+};
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  double occupancy = 0.0;  ///< active warps / max warps
+  /// Which resource limited the block count ("smem", "regs", "warps").
+  const char* limiter = "";
+};
+
+Occupancy compute_occupancy(const GpuSpec& gpu, const BlockResources& block);
+
+}  // namespace nmspmm::gpusim

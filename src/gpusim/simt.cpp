@@ -1,0 +1,156 @@
+#include "gpusim/simt.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace nmspmm::gpusim {
+
+namespace {
+
+/// Distinct 32-byte sectors among the active lane addresses.
+std::uint64_t count_sectors(const std::vector<std::uintptr_t>& addrs) {
+  std::uint64_t sectors = 0;
+  std::vector<std::uintptr_t> seen;
+  seen.reserve(addrs.size());
+  for (const auto a : addrs) {
+    const std::uintptr_t sector = a / 32;
+    if (std::find(seen.begin(), seen.end(), sector) == seen.end()) {
+      seen.push_back(sector);
+      ++sectors;
+    }
+  }
+  return sectors;
+}
+
+/// Bank-conflict cost of one shared-memory access: the maximum number of
+/// distinct 4-byte words any single bank must serve (broadcasts of the
+/// same word are free), minus the one conflict-free pass.
+std::uint64_t conflict_passes(const std::vector<index_t>& offsets) {
+  std::array<std::vector<index_t>, 32> bank_words{};
+  std::uint64_t worst = 1;
+  for (const index_t off : offsets) {
+    auto& words = bank_words[static_cast<std::size_t>(off % 32)];
+    if (std::find(words.begin(), words.end(), off) == words.end()) {
+      words.push_back(off);
+      worst = std::max<std::uint64_t>(worst, words.size());
+    }
+  }
+  return worst - 1;
+}
+
+}  // namespace
+
+void Warp::gmem_load(const std::function<const float*(index_t)>& addr_of,
+                     const std::function<void(index_t, float)>& sink) {
+  std::vector<std::uintptr_t> addrs;
+  addrs.reserve(static_cast<std::size_t>(lanes_));
+  for (index_t lane = 0; lane < lanes_; ++lane) {
+    const float* p = addr_of(lane);
+    if (p == nullptr) continue;
+    addrs.push_back(reinterpret_cast<std::uintptr_t>(p));
+    sink(lane, *p);
+  }
+  if (addrs.empty()) return;
+  auto& stats = block_.stats();
+  stats.gmem_load_requests += 1;
+  stats.gmem_load_sectors += count_sectors(addrs);
+}
+
+void Warp::gmem_store(const std::function<float*(index_t)>& addr_of,
+                      const std::function<float(index_t)>& value_of) {
+  std::vector<std::uintptr_t> addrs;
+  addrs.reserve(static_cast<std::size_t>(lanes_));
+  for (index_t lane = 0; lane < lanes_; ++lane) {
+    float* p = addr_of(lane);
+    if (p == nullptr) continue;
+    addrs.push_back(reinterpret_cast<std::uintptr_t>(p));
+    *p = value_of(lane);
+  }
+  if (addrs.empty()) return;
+  block_.stats().gmem_store_sectors += count_sectors(addrs);
+}
+
+void Warp::smem_load(const float* base,
+                     const std::function<index_t(index_t)>& offset_of,
+                     const std::function<void(index_t, float)>& sink) {
+  std::vector<index_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(lanes_));
+  for (index_t lane = 0; lane < lanes_; ++lane) {
+    const index_t off = offset_of(lane);
+    if (off < 0) continue;
+    offsets.push_back(off);
+    sink(lane, base[off]);
+  }
+  if (offsets.empty()) return;
+  auto& stats = block_.stats();
+  stats.smem_accesses += 1;
+  stats.smem_bank_conflicts += conflict_passes(offsets);
+}
+
+void Warp::smem_store(float* base,
+                      const std::function<index_t(index_t)>& offset_of,
+                      const std::function<float(index_t)>& value_of) {
+  std::vector<index_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(lanes_));
+  for (index_t lane = 0; lane < lanes_; ++lane) {
+    const index_t off = offset_of(lane);
+    if (off < 0) continue;
+    offsets.push_back(off);
+    base[off] = value_of(lane);
+  }
+  if (offsets.empty()) return;
+  auto& stats = block_.stats();
+  stats.smem_accesses += 1;
+  stats.smem_bank_conflicts += conflict_passes(offsets);
+}
+
+void Warp::count_fma(std::uint64_t scalar_fmas) {
+  block_.stats().fma_ops += scalar_fmas;
+}
+
+float* Block::shared_alloc(index_t count) {
+  NMSPMM_CHECK_MSG(count >= 0, "negative shared allocation");
+  const std::size_t new_bytes =
+      (shared_.size() + static_cast<std::size_t>(count)) * sizeof(float);
+  NMSPMM_CHECK_MSG(
+      new_bytes <= static_cast<std::size_t>(gpu_.max_smem_bytes_per_sm),
+      "shared memory overflow: " << new_bytes << " B > "
+                                 << gpu_.max_smem_bytes_per_sm << " B");
+  // Allocations must not invalidate earlier pointers: reserve the whole
+  // capacity once.
+  if (shared_.capacity() == 0)
+    shared_.reserve(static_cast<std::size_t>(gpu_.max_smem_bytes_per_sm) /
+                    sizeof(float));
+  const std::size_t offset = shared_.size();
+  shared_.resize(shared_.size() + static_cast<std::size_t>(count), 0.0f);
+  alloc_offsets_.push_back(offset);
+  return shared_.data() + offset;
+}
+
+void Block::for_each_warp(const std::function<void(Warp&)>& body) {
+  const index_t warps = num_warps();
+  for (index_t wi = 0; wi < warps; ++wi) {
+    const index_t lanes =
+        std::min<index_t>(gpu_.warp_size, num_threads_ - wi * gpu_.warp_size);
+    Warp warp(*this, wi, lanes);
+    body(warp);
+  }
+}
+
+void Block::sync() { ++stats_.syncthreads; }
+
+void Simulator::launch(Dim2 grid, index_t threads_per_block,
+                       const std::function<void(Block&)>& kernel) {
+  NMSPMM_CHECK_MSG(threads_per_block >= 1 && threads_per_block <= 1024,
+                   "threads per block must be in [1, 1024], got "
+                       << threads_per_block);
+  NMSPMM_CHECK_MSG(grid.x >= 1 && grid.y >= 1, "empty grid");
+  for (index_t by = 0; by < grid.y; ++by) {
+    for (index_t bx = 0; bx < grid.x; ++bx) {
+      Block block(Dim2{bx, by}, threads_per_block, gpu_, stats_);
+      kernel(block);
+    }
+  }
+}
+
+}  // namespace nmspmm::gpusim

@@ -1,0 +1,162 @@
+// Functional SIMT executor.
+//
+// Executes kernels written at warp granularity against a model of the
+// CUDA machine: a grid of thread blocks, each with shared memory and
+// warps of 32 lanes that issue memory operations collectively. The
+// executor is *functional* (it computes real results, verified against
+// the reference kernels) and *instrumented*: every global access is
+// coalesced into 32-byte sectors and every shared-memory access is
+// checked against the 32-bank model, producing the traffic and conflict
+// counts the analytical cost model consumes.
+//
+// Kernels are written as phase-structured block programs:
+//
+//   sim.launch(grid, threads, [&](Block& blk) {
+//     auto tile = blk.shared_alloc<float>(count);
+//     blk.for_each_warp([&](Warp& w) { ... w.gmem_load(...) ... });
+//     blk.sync();   // phase barrier, like __syncthreads()
+//     ...
+//   });
+//
+// for_each_warp runs warps sequentially (single simulation thread), so a
+// phase must not depend on intra-phase ordering between warps — the same
+// contract real __syncthreads() enforces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "gpusim/gpu_spec.hpp"
+#include "util/check.hpp"
+#include "util/matrix.hpp"
+
+namespace nmspmm::gpusim {
+
+struct Dim2 {
+  index_t x = 1;
+  index_t y = 1;
+  [[nodiscard]] index_t count() const { return x * y; }
+};
+
+/// Counters accumulated over a launch.
+struct SimStats {
+  std::uint64_t gmem_load_sectors = 0;   ///< 32-byte sectors read
+  std::uint64_t gmem_store_sectors = 0;  ///< 32-byte sectors written
+  std::uint64_t gmem_load_requests = 0;  ///< warp-level load instructions
+  std::uint64_t smem_accesses = 0;       ///< warp-level shared accesses
+  std::uint64_t smem_bank_conflicts = 0; ///< extra serialized passes
+  std::uint64_t fma_ops = 0;             ///< scalar FMA count
+  std::uint64_t syncthreads = 0;
+
+  [[nodiscard]] double gmem_load_bytes() const {
+    return 32.0 * static_cast<double>(gmem_load_sectors);
+  }
+  [[nodiscard]] double gmem_store_bytes() const {
+    return 32.0 * static_cast<double>(gmem_store_sectors);
+  }
+};
+
+class Block;
+
+/// A warp: 32 lanes issuing collective memory operations.
+class Warp {
+ public:
+  Warp(Block& block, index_t warp_id, index_t lanes)
+      : block_(block), warp_id_(warp_id), lanes_(lanes) {}
+
+  [[nodiscard]] index_t warp_id() const { return warp_id_; }
+  [[nodiscard]] index_t lanes() const { return lanes_; }
+
+  /// Collective global load: @p addr_of maps lane -> pointer (nullptr =
+  /// lane inactive), @p sink receives (lane, value). Coalescing is
+  /// counted over the distinct 32-byte sectors the active lanes touch.
+  void gmem_load(const std::function<const float*(index_t)>& addr_of,
+                 const std::function<void(index_t, float)>& sink);
+
+  /// Collective global store.
+  void gmem_store(const std::function<float*(index_t)>& addr_of,
+                  const std::function<float(index_t)>& value_of);
+
+  /// Collective shared-memory read by element offset within an allocation
+  /// (4-byte elements, 32 banks). Returns per-lane values through sink.
+  /// offset_of returning a negative value marks the lane inactive.
+  void smem_load(const float* base,
+                 const std::function<index_t(index_t)>& offset_of,
+                 const std::function<void(index_t, float)>& sink);
+
+  /// Collective shared-memory write.
+  void smem_store(float* base,
+                  const std::function<index_t(index_t)>& offset_of,
+                  const std::function<float(index_t)>& value_of);
+
+  /// Record FMA work done by this warp (functional arithmetic happens in
+  /// plain C++; this keeps the instruction counters honest).
+  void count_fma(std::uint64_t scalar_fmas);
+
+ private:
+  Block& block_;
+  index_t warp_id_;
+  index_t lanes_;
+};
+
+/// One thread block during simulation.
+class Block {
+ public:
+  Block(Dim2 block_idx, index_t num_threads, const GpuSpec& gpu,
+        SimStats& stats)
+      : block_idx_(block_idx), num_threads_(num_threads), gpu_(gpu),
+        stats_(stats) {}
+
+  [[nodiscard]] Dim2 block_idx() const { return block_idx_; }
+  [[nodiscard]] index_t num_threads() const { return num_threads_; }
+  [[nodiscard]] index_t num_warps() const {
+    return ceil_div(num_threads_, gpu_.warp_size);
+  }
+  [[nodiscard]] const GpuSpec& gpu() const { return gpu_; }
+  [[nodiscard]] SimStats& stats() { return stats_; }
+
+  /// Allocate @p count floats of shared memory (zero-initialized).
+  /// Throws when the block exceeds the SM's shared-memory capacity.
+  float* shared_alloc(index_t count);
+
+  /// Run a phase over all warps (sequentially).
+  void for_each_warp(const std::function<void(Warp&)>& body);
+
+  /// Phase barrier (__syncthreads); counted.
+  void sync();
+
+  [[nodiscard]] std::size_t shared_bytes_used() const {
+    return shared_.size() * sizeof(float);
+  }
+
+ private:
+  Dim2 block_idx_;
+  index_t num_threads_;
+  const GpuSpec& gpu_;
+  SimStats& stats_;
+  std::vector<float> shared_;
+  std::vector<std::size_t> alloc_offsets_;
+};
+
+/// The simulated device: launch grids against a spec.
+class Simulator {
+ public:
+  explicit Simulator(GpuSpec gpu) : gpu_(std::move(gpu)) {}
+
+  [[nodiscard]] const GpuSpec& gpu() const { return gpu_; }
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SimStats{}; }
+
+  /// Execute @p kernel for every block of the grid (sequentially; blocks
+  /// must be independent, as on the real machine).
+  void launch(Dim2 grid, index_t threads_per_block,
+              const std::function<void(Block&)>& kernel);
+
+ private:
+  GpuSpec gpu_;
+  SimStats stats_;
+};
+
+}  // namespace nmspmm::gpusim

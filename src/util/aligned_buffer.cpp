@@ -1,0 +1,42 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace nmspmm {
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment)
+    : bytes_(bytes), alignment_(alignment) {
+  NMSPMM_CHECK_MSG((alignment & (alignment - 1)) == 0,
+                   "alignment must be a power of two, got " << alignment);
+  if (bytes == 0) return;
+  const std::size_t padded = round_up(bytes, alignment);
+  data_ = std::aligned_alloc(alignment, padded);
+  if (data_ == nullptr) throw std::bad_alloc();
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      alignment_(other.alignment_) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    alignment_ = other.alignment_;
+  }
+  return *this;
+}
+
+void AlignedBuffer::swap(AlignedBuffer& other) noexcept {
+  std::swap(data_, other.data_);
+  std::swap(bytes_, other.bytes_);
+  std::swap(alignment_, other.alignment_);
+}
+
+}  // namespace nmspmm

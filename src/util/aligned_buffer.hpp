@@ -1,0 +1,68 @@
+// RAII buffer with cache-line / SIMD-register alignment.
+//
+// All matrix storage in this library goes through AlignedBuffer so that
+// vector loads in the micro-kernels never straddle cache lines and so
+// that leading dimensions can be padded to a multiple of the SIMD width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace nmspmm {
+
+/// Default alignment: 64 bytes covers AVX-512 registers and x86 cache
+/// lines; it is also a safe DMA-friendly boundary for the GPU simulator's
+/// global-memory transaction model.
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Owning, aligned, uninitialized byte buffer. Move-only.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes,
+                         std::size_t alignment = kDefaultAlignment);
+  ~AlignedBuffer();
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+
+  [[nodiscard]] void* data() noexcept { return data_; }
+  [[nodiscard]] const void* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t alignment() const noexcept { return alignment_; }
+  [[nodiscard]] bool empty() const noexcept { return bytes_ == 0; }
+
+  /// Typed view helpers. The caller asserts T is trivially copyable and
+  /// that the buffer was sized for count*sizeof(T).
+  template <typename T>
+  [[nodiscard]] T* as() noexcept {
+    return static_cast<T*>(data_);
+  }
+  template <typename T>
+  [[nodiscard]] const T* as() const noexcept {
+    return static_cast<const T*>(data_);
+  }
+
+  void swap(AlignedBuffer& other) noexcept;
+
+ private:
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t alignment_ = kDefaultAlignment;
+};
+
+/// Round @p value up to the next multiple of @p multiple (> 0).
+constexpr std::size_t round_up(std::size_t value, std::size_t multiple) {
+  return multiple == 0 ? value : ((value + multiple - 1) / multiple) * multiple;
+}
+
+/// Integer ceiling division used throughout blocking computations.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace nmspmm

@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checking.
+//
+// NMSPMM_CHECK is always on (it guards API misuse and costs nothing on the
+// hot path because kernels validate once per call, not per element).
+// NMSPMM_DCHECK compiles away in release builds and is used inside kernels.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nmspmm {
+
+/// Thrown when a checked precondition fails. Carries the failing
+/// expression and a human-readable context message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NMSPMM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace nmspmm
+
+#define NMSPMM_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::nmspmm::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define NMSPMM_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream nmspmm_os_;                                     \
+      nmspmm_os_ << msg;                                                 \
+      ::nmspmm::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                     nmspmm_os_.str());                  \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define NMSPMM_DCHECK(expr) ((void)0)
+#else
+#define NMSPMM_DCHECK(expr) NMSPMM_CHECK(expr)
+#endif

@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace nmspmm {
+
+void CliParser::add_flag(const std::string& name, bool default_value,
+                         const std::string& help) {
+  options_[name] = Option{Kind::kFlag, help, default_value ? "1" : "0"};
+  order_.push_back(name);
+}
+void CliParser::add_int(const std::string& name, long long default_value,
+                        const std::string& help) {
+  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  options_[name] = Option{Kind::kDouble, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+void CliParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{Kind::kString, help, default_value};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      print_usage();
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", arg.c_str());
+      print_usage();
+      return false;
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.value = has_value ? value : "1";
+      if (it->second.value == "true") it->second.value = "1";
+      if (it->second.value == "false") it->second.value = "0";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  NMSPMM_CHECK_MSG(it != options_.end(), "flag not registered: " << name);
+  NMSPMM_CHECK_MSG(it->second.kind == kind, "flag type mismatch: " << name);
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value == "1";
+}
+long long CliParser::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+const std::string& CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+void CliParser::print_usage() const {
+  std::printf("%s — %s\n\nflags:\n", program_.c_str(), description_.c_str());
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    std::printf("  --%-20s %s (default: %s)\n", name.c_str(),
+                opt.help.c_str(), opt.value.c_str());
+  }
+}
+
+}  // namespace nmspmm

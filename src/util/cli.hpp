@@ -1,0 +1,54 @@
+// Tiny command-line flag parser used by bench and example binaries.
+//
+// Supports --flag (bool), --key=value and "--key value" forms. Unknown
+// flags are an error so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nmspmm {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register flags before parse(). @p help appears in usage output.
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help);
+  void add_int(const std::string& name, long long default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace nmspmm

@@ -1,0 +1,206 @@
+// Row-major matrix container and non-owning views.
+//
+// Matrix owns aligned storage with a padded leading dimension so SIMD
+// kernels can always issue full-width loads on row starts. MatrixView /
+// ConstMatrixView are cheap non-owning slices used by every kernel API:
+// callers never pass raw pointers + strides around.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+#include "util/aligned_buffer.hpp"
+#include "util/check.hpp"
+
+namespace nmspmm {
+
+using index_t = std::int64_t;
+
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    NMSPMM_DCHECK(ld >= cols);
+  }
+
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  const T& operator()(index_t r, index_t c) const {
+    NMSPMM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[r * ld_ + c];
+  }
+  [[nodiscard]] const T* row(index_t r) const {
+    NMSPMM_DCHECK(r >= 0 && r < rows_);
+    return data_ + r * ld_;
+  }
+
+  /// Sub-view of rows [r0, r0+nr) x cols [c0, c0+nc); clamped to bounds.
+  [[nodiscard]] ConstMatrixView block(index_t r0, index_t c0, index_t nr,
+                                      index_t nc) const {
+    NMSPMM_DCHECK(r0 >= 0 && c0 >= 0 && r0 <= rows_ && c0 <= cols_);
+    nr = std::min(nr, rows_ - r0);
+    nc = std::min(nc, cols_ - c0);
+    return ConstMatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    NMSPMM_DCHECK(ld >= cols);
+  }
+
+  [[nodiscard]] T* data() const noexcept { return data_; }
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(index_t r, index_t c) const {
+    NMSPMM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[r * ld_ + c];
+  }
+  [[nodiscard]] T* row(index_t r) const {
+    NMSPMM_DCHECK(r >= 0 && r < rows_);
+    return data_ + r * ld_;
+  }
+
+  [[nodiscard]] MatrixView block(index_t r0, index_t c0, index_t nr,
+                                 index_t nc) const {
+    NMSPMM_DCHECK(r0 >= 0 && c0 >= 0 && r0 <= rows_ && c0 <= cols_);
+    nr = std::min(nr, rows_ - r0);
+    nc = std::min(nc, cols_ - c0);
+    return MatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+  operator ConstMatrixView<T>() const {  // NOLINT(google-explicit-constructor)
+    return ConstMatrixView<T>(data_, rows_, cols_, ld_);
+  }
+
+  void fill(const T& value) const {
+    for (index_t r = 0; r < rows_; ++r) std::fill_n(row(r), cols_, value);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Owning row-major matrix. The leading dimension is padded to a multiple
+/// of 16 elements (one AVX-512 float register) unless the caller passes an
+/// explicit ld.
+template <typename T>
+class Matrix {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Matrix requires trivially copyable elements");
+
+ public:
+  static constexpr index_t kLdPadElements = 16;
+
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : Matrix(rows, cols,
+               static_cast<index_t>(round_up(
+                   static_cast<std::size_t>(std::max<index_t>(cols, 1)),
+                   kLdPadElements))) {}
+  Matrix(index_t rows, index_t cols, index_t ld)
+      : rows_(rows), cols_(cols), ld_(ld),
+        storage_(static_cast<std::size_t>(rows * ld) * sizeof(T)) {
+    NMSPMM_CHECK_MSG(rows >= 0 && cols >= 0 && ld >= cols,
+                     "invalid matrix shape " << rows << "x" << cols
+                                             << " ld=" << ld);
+  }
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_, other.ld_) {
+    std::copy_n(other.data(), static_cast<std::size_t>(rows_ * ld_), data());
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      Matrix tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return static_cast<std::size_t>(rows_ * ld_) * sizeof(T);
+  }
+
+  [[nodiscard]] T* data() noexcept { return storage_.template as<T>(); }
+  [[nodiscard]] const T* data() const noexcept {
+    return storage_.template as<T>();
+  }
+
+  T& operator()(index_t r, index_t c) {
+    NMSPMM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data()[r * ld_ + c];
+  }
+  const T& operator()(index_t r, index_t c) const {
+    NMSPMM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data()[r * ld_ + c];
+  }
+  [[nodiscard]] T* row(index_t r) { return data() + r * ld_; }
+  [[nodiscard]] const T* row(index_t r) const { return data() + r * ld_; }
+
+  [[nodiscard]] MatrixView<T> view() {
+    return MatrixView<T>(data(), rows_, cols_, ld_);
+  }
+  [[nodiscard]] ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(data(), rows_, cols_, ld_);
+  }
+  [[nodiscard]] ConstMatrixView<T> cview() const { return view(); }
+
+  void fill(const T& value) {
+    if (!empty()) view().fill(value);
+  }
+  void zero() { fill(T{}); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+  AlignedBuffer storage_;
+};
+
+using MatrixF = Matrix<float>;
+using ViewF = MatrixView<float>;
+using ConstViewF = ConstMatrixView<float>;
+
+/// Max absolute elementwise difference between two equal-shape matrices.
+template <typename T>
+double max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  NMSPMM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c)
+      worst = std::max(
+          worst, static_cast<double>(
+                     a(r, c) > b(r, c) ? a(r, c) - b(r, c) : b(r, c) - a(r, c)));
+  return worst;
+}
+
+}  // namespace nmspmm

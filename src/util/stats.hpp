@@ -1,0 +1,53 @@
+// Robust summary statistics for repeated timing measurements.
+#pragma once
+
+#include <vector>
+
+namespace nmspmm {
+
+/// Summary of a sample of measurements (seconds, GFLOP/s, ...).
+struct SampleStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Compute summary statistics; empty input yields all-zero stats.
+SampleStats summarize(std::vector<double> samples);
+
+/// Repeatedly time a callable and return per-iteration stats in seconds.
+/// Runs @p warmup untimed iterations first; then at least @p min_iters
+/// timed iterations and keeps going until @p min_seconds of total timed
+/// work has accumulated (so fast kernels are still measured reliably).
+template <typename F>
+SampleStats time_callable(F&& fn, int warmup = 1, int min_iters = 3,
+                          double min_seconds = 0.05);
+
+}  // namespace nmspmm
+
+#include <chrono>
+
+namespace nmspmm {
+
+template <typename F>
+SampleStats time_callable(F&& fn, int warmup, int min_iters,
+                          double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  double total = 0.0;
+  while (static_cast<int>(samples.size()) < min_iters || total < min_seconds) {
+    const auto t0 = clock::now();
+    fn();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    samples.push_back(dt);
+    total += dt;
+    if (samples.size() > 10000) break;  // degenerate fast-path guard
+  }
+  return summarize(std::move(samples));
+}
+
+}  // namespace nmspmm

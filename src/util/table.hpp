@@ -1,0 +1,41 @@
+// Result tables: aligned ASCII rendering for the terminal plus CSV export,
+// so every bench binary prints the same rows the paper reports and can
+// also be post-processed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nmspmm {
+
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Render as an aligned ASCII table with a separator under the header.
+  void print(std::ostream& os) const;
+  /// Render as RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nmspmm

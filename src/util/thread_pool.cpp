@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/aligned_buffer.hpp"
+
+namespace nmspmm {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // threads counts the caller thread; spawn one fewer worker.
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task{};
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = queue_.front();
+      queue_.pop();
+    }
+    (*task.fn)(task.index);
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(std::int64_t chunks,
+                            const std::function<void(std::int64_t)>& fn) {
+  if (chunks <= 0) return;
+  if (workers_.empty() || chunks == 1) {
+    for (std::int64_t i = 0; i < chunks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    // Caller keeps chunk 0 for itself; workers get the rest.
+    for (std::int64_t i = 1; i < chunks; ++i) queue_.push(Task{&fn, i});
+    in_flight_ += chunks - 1;
+  }
+  cv_.notify_all();
+  fn(0);
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("NMSPMM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
+  return pool;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t min_grain) {
+  const std::int64_t total = end - begin;
+  if (total <= 0) return;
+  auto& pool = ThreadPool::global();
+  const std::int64_t max_chunks =
+      std::max<std::int64_t>(1, total / std::max<std::int64_t>(1, min_grain));
+  const std::int64_t chunks =
+      std::min<std::int64_t>(pool.size(), max_chunks);
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t per = ceil_div(total, chunks);
+  std::function<void(std::int64_t)> chunk_fn = [&](std::int64_t c) {
+    const std::int64_t lo = begin + c * per;
+    const std::int64_t hi = std::min(end, lo + per);
+    if (lo < hi) body(lo, hi);
+  };
+  pool.run_chunks(chunks, chunk_fn);
+}
+
+}  // namespace nmspmm

@@ -1,0 +1,67 @@
+// Minimal blocking thread pool with a parallel_for convenience wrapper.
+//
+// The benchmark machine may have any core count (the CI container has a
+// single core); all kernels take their parallelism from here so they
+// degrade gracefully to serial execution. The pool is created once and
+// reused — kernels never spawn threads on the hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace nmspmm {
+
+class ThreadPool {
+ public:
+  /// @param threads number of workers; 0 means hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;  // +1: caller thread
+  }
+
+  /// Run fn(chunk_index) for chunk_index in [0, chunks); blocks until all
+  /// chunks finish. The calling thread participates, so a pool of size 1
+  /// (zero workers) executes everything inline with no synchronization.
+  void run_chunks(std::int64_t chunks,
+                  const std::function<void(std::int64_t)>& fn);
+
+  /// Global pool shared by the library (sized from NMSPMM_THREADS env var
+  /// or hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::int64_t)>* fn;
+    std::int64_t index;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::queue<Task> queue_;
+  std::int64_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Split [begin, end) into roughly even contiguous ranges and run
+/// body(lo, hi) for each on the global pool.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t min_grain = 1);
+
+}  // namespace nmspmm

@@ -1,0 +1,26 @@
+// Wall-clock timing for benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace nmspmm {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace nmspmm

@@ -1,0 +1,42 @@
+#include "workloads/generators.hpp"
+
+#include "core/pruning.hpp"
+
+namespace nmspmm {
+
+MatrixF random_matrix(index_t rows, index_t cols, Rng& rng, float lo,
+                      float hi) {
+  MatrixF m(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    float* row = m.row(r);
+    for (index_t c = 0; c < cols; ++c) row[c] = rng.next_float(lo, hi);
+  }
+  return m;
+}
+
+CompressedNM random_compressed(index_t k, index_t n, const NMConfig& config,
+                               Rng& rng) {
+  MatrixF dense = random_matrix(k, n, rng);
+  NMMask mask = random_mask(k, n, config, rng);
+  return compress(dense.view(), mask);
+}
+
+CompressedNM random_compressed_int(index_t k, index_t n,
+                                   const NMConfig& config, Rng& rng) {
+  MatrixF dense = random_int_matrix(k, n, rng);
+  NMMask mask = random_mask(k, n, config, rng);
+  return compress(dense.view(), mask);
+}
+
+MatrixF random_int_matrix(index_t rows, index_t cols, Rng& rng, int lo,
+                          int hi) {
+  MatrixF m(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    float* row = m.row(r);
+    for (index_t c = 0; c < cols; ++c)
+      row[c] = static_cast<float>(rng.next_int(lo, hi));
+  }
+  return m;
+}
+
+}  // namespace nmspmm

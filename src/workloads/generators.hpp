@@ -1,0 +1,30 @@
+// Deterministic matrix / sparse-operand generators for tests and benches.
+#pragma once
+
+#include "core/nm_format.hpp"
+#include "util/rng.hpp"
+
+namespace nmspmm {
+
+/// Dense matrix with entries uniform in [lo, hi).
+MatrixF random_matrix(index_t rows, index_t cols, Rng& rng, float lo = -1.0f,
+                      float hi = 1.0f);
+
+/// A compressed N:M operand with a random keep pattern and random values —
+/// the standard kernel-benchmark input (weights are random because kernel
+/// time does not depend on values).
+CompressedNM random_compressed(index_t k, index_t n, const NMConfig& config,
+                               Rng& rng);
+
+/// Integer-valued matrices (small magnitudes) for exact float comparisons
+/// in unit tests: products stay exactly representable.
+MatrixF random_int_matrix(index_t rows, index_t cols, Rng& rng,
+                          int lo = -4, int hi = 4);
+
+/// Compressed N:M operand whose values are small integers, so optimized
+/// kernels must match the reference bit-exactly regardless of summation
+/// order (all partial sums stay within float's exact-integer range).
+CompressedNM random_compressed_int(index_t k, index_t n,
+                                   const NMConfig& config, Rng& rng);
+
+}  // namespace nmspmm

@@ -1,0 +1,61 @@
+#include "workloads/llama_shapes.hpp"
+
+namespace nmspmm {
+
+namespace {
+
+struct LlamaModel {
+  const char* name;
+  index_t hidden;
+  index_t ffn;
+};
+
+// Hidden / FFN dimensions of the Llama family (Touvron et al., 2023).
+constexpr LlamaModel kModels[] = {
+    {"7B", 4096, 11008},
+    {"13B", 5120, 13824},
+    {"30B", 6656, 17920},
+    {"65B", 8192, 22016},
+};
+
+}  // namespace
+
+std::vector<ProblemShape> llama_layer_tuples() {
+  std::vector<ProblemShape> tuples;
+  for (const auto& model : kModels) {
+    const index_t h = model.hidden;
+    const index_t f = model.ffn;
+    const std::string base = model.name;
+    // (n, k) of C[m x n] = A[m x k] * W[k x n]:
+    tuples.push_back({0, 3 * h, h, base + "-qkv"});   // fused QKV projection
+    tuples.push_back({0, h, h, base + "-attn_out"});  // attention output
+    tuples.push_back({0, f, h, base + "-mlp_gate"});  // SwiGLU gate
+    tuples.push_back({0, f, h, base + "-mlp_up"});    // SwiGLU up
+    tuples.push_back({0, h, f, base + "-mlp_down"});  // SwiGLU down
+  }
+  return tuples;
+}
+
+std::vector<ProblemShape> llama_dataset() {
+  std::vector<ProblemShape> points;
+  const auto tuples = llama_layer_tuples();
+  for (index_t m = 256; m <= 4096; m *= 2) {
+    for (const auto& t : tuples) {
+      ProblemShape p = t;
+      p.m = m;
+      p.label = "m" + std::to_string(m) + "-" + t.label;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+std::vector<ProblemShape> table2_points() {
+  return {
+      {512, 512, 512, "A"},    {512, 1024, 1024, "B"},
+      {512, 2048, 2048, "C"},  {1024, 2048, 2048, "D"},
+      {2048, 4096, 4096, "E"}, {4096, 4096, 4096, "F"},
+  };
+}
+
+}  // namespace nmspmm

@@ -1,0 +1,39 @@
+// The evaluation dataset of Section IV-A: 100 (m, n, k) data points.
+//
+// m (the input sequence / batch dimension) takes five values 2^8..2^12;
+// each is paired with 20 (n, k) tuples extracted from the linear layers
+// of the Llama model family (7B/13B/30B/65B: fused QKV, attention output,
+// MLP gate/up/down).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace nmspmm {
+
+struct ProblemShape {
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+  std::string label;
+
+  [[nodiscard]] double flops_dense() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+};
+
+/// The 20 (n, k) tuples: 4 Llama models x 5 linear-layer roles.
+std::vector<ProblemShape> llama_layer_tuples();
+
+/// The full 100-point dataset (5 m values x 20 tuples), ordered by m then
+/// layer, matching the "Data Point" axis of Figure 9.
+std::vector<ProblemShape> llama_dataset();
+
+/// Table II: the small/medium/large example matrices A..F used by the
+/// blocking-parameter evaluation (Figure 8).
+std::vector<ProblemShape> table2_points();
+
+}  // namespace nmspmm

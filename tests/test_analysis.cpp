@@ -1,0 +1,221 @@
+// Analysis module: Eq. 3 arithmetic intensity, roofline classification,
+// the ~70% compute->memory transition, Eq. 6 CMAR, and the auto-tuner's
+// agreement with Table I.
+#include <gtest/gtest.h>
+
+#include "analysis/arithmetic_intensity.hpp"
+#include "analysis/cmar.hpp"
+#include "analysis/roofline.hpp"
+#include "analysis/tuner.hpp"
+
+namespace nmspmm::analysis {
+namespace {
+
+using gpusim::a100_80g;
+using gpusim::rtx3090;
+using gpusim::rtx4090;
+
+BlockingParams large_with_ks(const NMConfig& cfg) {
+  BlockingParams p = table1_preset(SizeClass::kLarge);
+  p.ks = derive_ks(cfg, p.ms, p.ns, 192 * 1024, 1 << 20);
+  return p;
+}
+
+TEST(ArithmeticIntensity, MatchesEq3ByHand) {
+  // ms=64, ns=128, ks=128, 50% -> ws=64:
+  // AI = 2*64*128*64 / (64*128 + 64*128 + 2*64*128) = 32.
+  BlockingParams p = table1_preset(SizeClass::kLarge);
+  p.ks = 128;
+  const NMConfig cfg{16, 32, 16};
+  EXPECT_DOUBLE_EQ(block_arithmetic_intensity(p, cfg), 32.0);
+}
+
+TEST(ArithmeticIntensity, DecreasesWithSparsityAtFixedKs) {
+  // Eq. 3 discussion: with ks fixed, raising sparsity shrinks the
+  // numerator faster than the denominator.
+  BlockingParams p = table1_preset(SizeClass::kLarge);
+  p.ks = 256;
+  double prev = 1e300;
+  for (const NMConfig cfg : {kSparsity50, kSparsity625, kSparsity75,
+                             kSparsity875}) {
+    const double ai = block_arithmetic_intensity(p, cfg);
+    EXPECT_LT(ai, prev) << cfg.to_string();
+    prev = ai;
+  }
+}
+
+TEST(ArithmeticIntensity, PackingRaisesAI) {
+  BlockingParams p = large_with_ks(kSparsity875);
+  const double plain = block_arithmetic_intensity(p, kSparsity875, 1.0);
+  const double packed = block_arithmetic_intensity(p, kSparsity875, 0.3);
+  EXPECT_GT(packed, plain);
+}
+
+TEST(ArithmeticIntensity, SharedMemoryAdaptivityPartiallyCompensates) {
+  // With ks re-derived per sparsity (Eq. 4 gives deeper chunks at higher
+  // sparsity), AI still falls from 50% to 87.5% — the net effect the
+  // paper reports — but by less than at fixed ks.
+  const double ai50 = block_arithmetic_intensity(large_with_ks(kSparsity50),
+                                                 kSparsity50);
+  const double ai875 = block_arithmetic_intensity(
+      large_with_ks(kSparsity875), kSparsity875);
+  EXPECT_GT(ai50, ai875);
+  BlockingParams fixed = table1_preset(SizeClass::kLarge);
+  fixed.ks = large_with_ks(kSparsity50).ks;  // 50%-sized chunks for both
+  const double ai875_fixed = block_arithmetic_intensity(fixed, kSparsity875);
+  EXPECT_GT(ai875, ai875_fixed);
+}
+
+TEST(ArithmeticIntensity, WorkingFractionBounds) {
+  BlockingParams p = large_with_ks(kSparsity50);
+  const double f50 = expected_a_working_fraction(p, kSparsity50);
+  const double f875 = expected_a_working_fraction(p, kSparsity875);
+  EXPECT_GT(f50, f875);  // moderate sparsity uses almost all of As
+  EXPECT_GT(f50, 0.99);  // 8 groups at 50%: 1 - 2^-8
+  EXPECT_LE(f50, 1.0);
+  EXPECT_GE(f875, kSparsity875.density());  // never below ws/ks
+}
+
+TEST(Roofline, AttainableIsMinOfPeakAndBandwidth) {
+  const auto low = roofline_at(a100_80g(), 1.0);
+  EXPECT_EQ(low.bound, Bound::kMemory);
+  EXPECT_NEAR(low.attainable_tflops, 1935.0 / 1000.0, 1e-6);
+  const auto high = roofline_at(a100_80g(), 1000.0);
+  EXPECT_EQ(high.bound, Bound::kCompute);
+  EXPECT_DOUBLE_EQ(high.attainable_tflops, 14.7);  // sustained roof
+}
+
+TEST(Roofline, PaperSparsityLevelsClassifyAsPaperSays) {
+  // Section III-A: on the A100, 50%/62.5% are compute bound, 75%/87.5%
+  // land on the memory side of the transition.
+  const auto gpu = a100_80g();
+  EXPECT_EQ(classify_bound(gpu, large_with_ks(kSparsity50), kSparsity50),
+            Bound::kCompute);
+  EXPECT_EQ(classify_bound(gpu, large_with_ks(kSparsity625), kSparsity625),
+            Bound::kCompute);
+  EXPECT_EQ(classify_bound(gpu, large_with_ks(kSparsity875), kSparsity875),
+            Bound::kMemory);
+}
+
+TEST(Roofline, TransitionNear70PercentOnA100) {
+  // "when the sparsity exceeds 70.0%, the performance bottleneck shifts"
+  // — the transition point for the large kernel must fall between the
+  // paper's moderate (62.5%) and high (75%) levels.
+  const double t = transition_sparsity(a100_80g(),
+                                       table1_preset(SizeClass::kLarge), 32,
+                                       16, 4096);
+  EXPECT_GE(t, 0.625);
+  EXPECT_LE(t, 0.80);
+}
+
+TEST(Roofline, TransitionEarlierOnBandwidthStarvedGpus) {
+  // "the transition point varies depending on the arithmetic intensity
+  // of the hardware": the 4090's compute/bandwidth ratio is far higher,
+  // so it becomes memory bound at lower sparsity than the A100.
+  const auto preset = table1_preset(SizeClass::kLarge);
+  const double a100 = transition_sparsity(a100_80g(), preset, 32, 16, 4096);
+  const double r4090 = transition_sparsity(rtx4090(), preset, 32, 16, 4096);
+  EXPECT_LT(r4090, a100);
+}
+
+TEST(Cmar, MatchesEq6) {
+  EXPECT_DOUBLE_EQ(cmar(8, 8, 1), 4.0);
+  EXPECT_DOUBLE_EQ(cmar(8, 16, 1), 128.0 / 24.0);
+  EXPECT_DOUBLE_EQ(cmar(8, 8, 4), 1.0);  // LDS.32
+}
+
+TEST(Cmar, LargerTilesRaiseCmar) {
+  EXPECT_GT(cmar(8, 8), cmar(4, 4));
+  EXPECT_GT(cmar(8, 16), cmar(8, 8));
+}
+
+TEST(Cmar, RegisterBudgetAdmitsPaperTiles) {
+  EXPECT_LE(thread_tile_registers(8, 8), 255);
+  EXPECT_LE(thread_tile_registers(8, 16), 255);
+  EXPECT_GT(thread_tile_registers(16, 16), 255);  // rejected by the budget
+}
+
+TEST(Cmar, BestTileIsThePaperChoice) {
+  // On A100, mt x nt is "typically set to 8x8 or 8x16" — the best
+  // tile under the 255-register budget must be one of those.
+  const TileChoice best = best_thread_tile(255, 1);
+  const bool is_paper_tile = (best.mt == 8 && best.nt == 16) ||
+                             (best.mt == 16 && best.nt == 8) ||
+                             (best.mt == 8 && best.nt == 8);
+  EXPECT_TRUE(is_paper_tile) << best.mt << "x" << best.nt;
+}
+
+TEST(Cmar, RankingIsMonotoneAndBudgetClean) {
+  const auto ranked = rank_thread_tiles(255, 1);
+  ASSERT_FALSE(ranked.empty());
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].cmar, ranked[i].cmar);
+  for (const auto& t : ranked) EXPECT_LE(t.registers, 255);
+}
+
+TEST(Tuner, FindsValidConfigs) {
+  const auto ranked = tune(a100_80g(), 512, 512, 512, kSparsity50);
+  ASSERT_FALSE(ranked.empty());
+  for (const auto& r : ranked) {
+    EXPECT_NO_THROW(validate_params(r.params, kSparsity50,
+                                    192 * 1024, 512));
+  }
+  // Sorted fastest first.
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_LE(ranked[i - 1].cost.seconds, ranked[i].cost.seconds);
+}
+
+TEST(Tuner, EachPresetWinsOnItsOwnSizeClass) {
+  // Figure 8's claim: the kernel tuned for a size class performs best on
+  // problems of that class. Under the cost model, each Table I preset
+  // must beat (or tie) the preset of the most distant class on its own
+  // representative problem.
+  auto time_with = [&](SizeClass sc, index_t m, index_t n, index_t k) {
+    gpusim::CostInputs in;
+    in.gpu = a100_80g();
+    in.m = m;
+    in.n = n;
+    in.k = k;
+    in.cfg = kSparsity50;
+    in.params = table1_preset(sc);
+    in.params.ks = derive_ks(kSparsity50, in.params.ms, in.params.ns,
+                             192 * 1024, k);
+    in.variant = KernelVariant::kV3;
+    return gpusim::predict(in).seconds;
+  };
+  // Small problem (Table II point A): small preset beats large preset.
+  EXPECT_LE(time_with(SizeClass::kSmall, 512, 512, 512),
+            time_with(SizeClass::kLarge, 512, 512, 512) * 1.001);
+  // Large problem (Table II point F): large preset beats small preset.
+  EXPECT_LE(time_with(SizeClass::kLarge, 4096, 4096, 4096),
+            time_with(SizeClass::kSmall, 4096, 4096, 4096) * 1.001);
+}
+
+TEST(Tuner, BestModelConfigBeatsOrMatchesEveryPreset) {
+  // Sanity: the tuner's best candidate is never slower than the preset
+  // (it enumerates a superset of Table I).
+  const auto ranked = tune(a100_80g(), 4096, 4096, 4096, kSparsity50);
+  ASSERT_FALSE(ranked.empty());
+  gpusim::CostInputs in;
+  in.gpu = a100_80g();
+  in.m = in.n = in.k = 4096;
+  in.cfg = kSparsity50;
+  in.params = table1_preset(SizeClass::kLarge);
+  in.params.ks = derive_ks(kSparsity50, in.params.ms, in.params.ns,
+                           192 * 1024, 4096);
+  in.variant = KernelVariant::kV3;
+  EXPECT_LE(ranked.front().cost.seconds, gpusim::predict(in).seconds * 1.001);
+}
+
+TEST(Tuner, PresetRankRejectsUnknownPreset) {
+  const auto ranked = tune(a100_80g(), 512, 512, 512, kSparsity50);
+  BlockingParams alien;
+  alien.ms = 32;
+  alien.ns = 32;
+  alien.mt = 7;  // never enumerated
+  alien.nt = 4;
+  EXPECT_THROW(preset_rank(ranked, alien), CheckError);
+}
+
+}  // namespace
+}  // namespace nmspmm::analysis

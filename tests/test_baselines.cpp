@@ -1,0 +1,162 @@
+// Baselines: dense blocked GEMM vs naive reference, CSR round trips, the
+// Sputnik-like unstructured kernel, and the nmSPARSE-like N:M kernel.
+#include <gtest/gtest.h>
+
+#include "baselines/csr.hpp"
+#include "baselines/dense_gemm.hpp"
+#include "baselines/nmsparse_like.hpp"
+#include "baselines/sputnik_like.hpp"
+#include "core/nmspmm.hpp"
+#include "workloads/generators.hpp"
+
+namespace nmspmm {
+namespace {
+
+TEST(DenseGemm, BlockedMatchesReference) {
+  Rng rng(61);
+  for (const auto& [m, k, n] :
+       {std::tuple<index_t, index_t, index_t>{64, 64, 64},
+        {33, 70, 65},
+        {128, 96, 160},
+        {1, 64, 17}}) {
+    const MatrixF A = random_int_matrix(m, k, rng);
+    const MatrixF B = random_int_matrix(k, n, rng);
+    MatrixF expect(m, n), got(m, n);
+    gemm_reference(A.view(), B.view(), expect.view());
+    gemm_blocked(A.view(), B.view(), got.view());
+    EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0)
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(DenseGemm, NaiveMatchesReference) {
+  Rng rng(62);
+  const MatrixF A = random_int_matrix(40, 52, rng);
+  const MatrixF B = random_int_matrix(52, 36, rng);
+  MatrixF expect(40, 36), got(40, 36);
+  gemm_reference(A.view(), B.view(), expect.view());
+  gemm_naive(A.view(), B.view(), got.view());
+  EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0);
+}
+
+TEST(DenseGemm, ExplicitParams) {
+  Rng rng(63);
+  const MatrixF A = random_int_matrix(64, 64, rng);
+  const MatrixF B = random_int_matrix(64, 64, rng);
+  MatrixF expect(64, 64), got(64, 64);
+  gemm_reference(A.view(), B.view(), expect.view());
+  BlockingParams p = table1_preset(SizeClass::kSmall);
+  p.ks = 32;
+  gemm_blocked(A.view(), B.view(), got.view(), p);
+  EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0);
+}
+
+TEST(DenseGemm, ShapeMismatchThrows) {
+  MatrixF A(4, 8), B(7, 4), C(4, 4);
+  A.zero();
+  B.zero();
+  EXPECT_THROW(gemm_blocked(A.view(), B.view(), C.view()), CheckError);
+}
+
+TEST(Csr, DenseRoundTrip) {
+  Rng rng(64);
+  MatrixF dense = random_int_matrix(32, 24, rng, -2, 2);
+  const CsrMatrix csr = csr_from_dense(dense.view());
+  const MatrixF back = csr_to_dense(csr);
+  EXPECT_EQ(max_abs_diff(dense.cview(), back.cview()), 0.0);
+}
+
+TEST(Csr, FromCompressedMatchesDecompressedStructure) {
+  Rng rng(65);
+  const NMConfig cfg{2, 8, 8};
+  const CompressedNM B = random_compressed(64, 48, cfg, rng);
+  const CsrMatrix direct = csr_from_compressed(B);
+  const MatrixF dense = decompress(B);
+  const MatrixF back = csr_to_dense(direct);
+  EXPECT_EQ(max_abs_diff(dense.cview(), back.cview()), 0.0);
+  // k divides M here, so every compressed position is structural: the
+  // CSR holds exactly w*n entries and its density equals N/M.
+  EXPECT_EQ(direct.nnz(), B.rows() * B.cols);
+  EXPECT_DOUBLE_EQ(direct.density(), cfg.density());
+}
+
+TEST(Csr, EmptyMatrix) {
+  MatrixF dense(4, 4);
+  dense.zero();
+  const CsrMatrix csr = csr_from_dense(dense.view());
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_DOUBLE_EQ(csr.density(), 0.0);
+}
+
+TEST(SputnikLike, MatchesReferenceOnNMOperand) {
+  Rng rng(66);
+  const NMConfig cfg{2, 8, 8};
+  const index_t m = 48, k = 96, n = 64;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+  MatrixF expect(m, n);
+  spmm_reference(A.view(), B, expect.view());
+  const SputnikPlan plan = sputnik_plan(csr_from_compressed(B));
+  MatrixF got(m, n);
+  sputnik_like_spmm(A.view(), plan, got.view());
+  EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0);
+}
+
+TEST(SputnikLike, HandlesUnstructuredSparsity) {
+  Rng rng(67);
+  const index_t m = 32, k = 64, n = 40;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  // Random unstructured sparse B: ~80% zeros.
+  MatrixF B(k, n);
+  for (index_t r = 0; r < k; ++r)
+    for (index_t c = 0; c < n; ++c)
+      B(r, c) = rng.next_double() < 0.2
+                    ? static_cast<float>(rng.next_int(-3, 3))
+                    : 0.0f;
+  MatrixF expect(m, n);
+  gemm_reference(A.view(), B.view(), expect.view());
+  const SputnikPlan plan = sputnik_plan(csr_from_dense(B.view()));
+  MatrixF got(m, n);
+  sputnik_like_spmm(A.view(), plan, got.view());
+  EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0);
+}
+
+TEST(SputnikLike, RowOrderIsLongestFirst) {
+  MatrixF B(3, 4);
+  B.zero();
+  B(1, 0) = 1.0f;
+  B(1, 1) = 1.0f;  // row 1: 2 nnz
+  B(2, 3) = 1.0f;  // row 2: 1 nnz
+  const SputnikPlan plan = sputnik_plan(csr_from_dense(B.view()));
+  EXPECT_EQ(plan.row_order[0], 1);
+  EXPECT_EQ(plan.row_order[1], 2);
+  EXPECT_EQ(plan.row_order[2], 0);
+}
+
+TEST(NmsparseLike, MatchesReferenceAcrossConfigs) {
+  Rng rng(68);
+  for (const NMConfig cfg :
+       {NMConfig{2, 4, 8}, NMConfig{1, 8, 4}, NMConfig{16, 32, 16},
+        NMConfig{3, 7, 5}}) {
+    const index_t m = 33, k = 2 * cfg.m * 3 + 1, n = 50;
+    const MatrixF A = random_int_matrix(m, k, rng);
+    const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+    MatrixF expect(m, n);
+    spmm_reference(A.view(), B, expect.view());
+    MatrixF got(m, n);
+    nmsparse_like_spmm(A.view(), B, got.view());
+    EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0)
+        << cfg.to_string();
+  }
+}
+
+TEST(NmsparseLike, ShapeMismatchThrows) {
+  Rng rng(69);
+  const CompressedNM B = random_compressed(64, 64, NMConfig{2, 4, 8}, rng);
+  const MatrixF A = random_int_matrix(16, 32, rng);
+  MatrixF C(16, 64);
+  EXPECT_THROW(nmsparse_like_spmm(A.view(), B, C.view()), CheckError);
+}
+
+}  // namespace
+}  // namespace nmspmm

@@ -1,0 +1,155 @@
+// Blocking-parameter system: Table I presets, Eq. 4/5 derivation of ks,
+// register budget, and constraint validation.
+#include <gtest/gtest.h>
+
+#include "core/kernel_params.hpp"
+
+namespace nmspmm {
+namespace {
+
+TEST(Table1, PresetsMatchPaper) {
+  const BlockingParams s = table1_preset(SizeClass::kSmall);
+  EXPECT_EQ(s.ms, 32); EXPECT_EQ(s.ns, 32);
+  EXPECT_EQ(s.mt, 4);  EXPECT_EQ(s.nt, 4);
+  EXPECT_EQ(s.mr, 16); EXPECT_EQ(s.nr, 32);
+  const BlockingParams m = table1_preset(SizeClass::kMedium);
+  EXPECT_EQ(m.ms, 32); EXPECT_EQ(m.ns, 64);
+  EXPECT_EQ(m.mt, 8);  EXPECT_EQ(m.nt, 4);
+  EXPECT_EQ(m.mr, 32); EXPECT_EQ(m.nr, 32);
+  const BlockingParams l = table1_preset(SizeClass::kLarge);
+  EXPECT_EQ(l.ms, 64); EXPECT_EQ(l.ns, 128);
+  EXPECT_EQ(l.mt, 8);  EXPECT_EQ(l.nt, 8);
+  EXPECT_EQ(l.mr, 64); EXPECT_EQ(l.nr, 32);
+}
+
+TEST(SizeClassification, Table2PointsClassifyAsPaperLabels) {
+  // Table II: A,B small; C,D medium; E,F large.
+  EXPECT_EQ(classify_size(512, 512, 512), SizeClass::kSmall);     // A
+  EXPECT_EQ(classify_size(512, 1024, 1024), SizeClass::kSmall);   // B
+  EXPECT_EQ(classify_size(512, 2048, 2048), SizeClass::kMedium);  // C
+  EXPECT_EQ(classify_size(1024, 2048, 2048), SizeClass::kMedium); // D
+  EXPECT_EQ(classify_size(2048, 4096, 4096), SizeClass::kLarge);  // E
+  EXPECT_EQ(classify_size(4096, 4096, 4096), SizeClass::kLarge);  // F
+}
+
+TEST(DeriveKs, SatisfiesSharedMemoryBound) {
+  const std::size_t smem = 192 * 1024;  // A100
+  for (const NMConfig cfg : {NMConfig{16, 32, 16}, NMConfig{4, 32, 16},
+                             NMConfig{2, 4, 16}, NMConfig{1, 8, 16}}) {
+    for (const SizeClass sc :
+         {SizeClass::kSmall, SizeClass::kMedium, SizeClass::kLarge}) {
+      BlockingParams p = table1_preset(sc);
+      p.ks = derive_ks(cfg, p.ms, p.ns, smem, 1 << 20);
+      EXPECT_EQ(p.ks % cfg.m, 0);
+      // Eq. 5 bound: 8*ks*(ms + N*ns/M) <= smem.
+      const double lhs = 8.0 * static_cast<double>(p.ks) *
+                         (static_cast<double>(p.ms) +
+                          static_cast<double>(cfg.n) * p.ns / cfg.m);
+      EXPECT_LE(lhs, static_cast<double>(smem));
+      // And it is maximal: one more window would violate the bound
+      // (unless clamped by k).
+      const double lhs_next = 8.0 * static_cast<double>(p.ks + cfg.m) *
+                              (static_cast<double>(p.ms) +
+                               static_cast<double>(cfg.n) * p.ns / cfg.m);
+      EXPECT_GT(lhs_next, static_cast<double>(smem));
+    }
+  }
+}
+
+TEST(DeriveKs, HigherSparsityAllowsDeeperChunks) {
+  // Eq. 4: smaller N (higher sparsity) shrinks Bs, freeing room for a
+  // larger ks — the adaptivity Section III-A describes.
+  const std::size_t smem = 192 * 1024;
+  const index_t ks50 = derive_ks(kSparsity50, 64, 128, smem, 1 << 20);
+  const index_t ks875 = derive_ks(kSparsity875, 64, 128, smem, 1 << 20);
+  EXPECT_GT(ks875, ks50);
+}
+
+TEST(DeriveKs, ClampedByProblemDepth) {
+  const NMConfig cfg{2, 4, 16};
+  EXPECT_EQ(derive_ks(cfg, 32, 32, 1 << 30, 64), cfg.padded_k(64));
+  EXPECT_EQ(derive_ks(cfg, 32, 32, 1 << 30, 62), 64);  // padded to M
+}
+
+TEST(DeriveKs, AtLeastOneWindowEvenWhenBudgetTiny) {
+  const NMConfig cfg{2, 4, 16};
+  EXPECT_EQ(derive_ks(cfg, 32, 32, 16, 1024), 4);
+}
+
+TEST(RegisterBudget, MatchesFormula) {
+  BlockingParams p = table1_preset(SizeClass::kLarge);
+  EXPECT_EQ(registers_per_thread(p), 8 + 8 + 64);
+  p.mt = 15;
+  p.nt = 15;
+  EXPECT_EQ(registers_per_thread(p), 15 + 15 + 225);  // 255: at the limit
+}
+
+TEST(Validation, AcceptsAllTable1PresetsAtAllPaperSparsities) {
+  const std::size_t smem = 192 * 1024;
+  for (const NMConfig cfg : {kSparsity0, kSparsity50, kSparsity625,
+                             kSparsity75, kSparsity875}) {
+    for (const SizeClass sc :
+         {SizeClass::kSmall, SizeClass::kMedium, SizeClass::kLarge}) {
+      BlockingParams p = table1_preset(sc);
+      p.ks = derive_ks(cfg, p.ms, p.ns, smem, 4096);
+      EXPECT_NO_THROW(validate_params(p, cfg, smem, 4096))
+          << to_string(sc) << " at " << cfg.to_string();
+    }
+  }
+}
+
+TEST(Validation, RejectsNonMultipleOf32Blocks) {
+  BlockingParams p = table1_preset(SizeClass::kSmall);
+  p.ks = 32;
+  p.ms = 48;  // not a multiple of 32: bank-conflict rule violated
+  EXPECT_THROW(validate_params(p, kSparsity50, 192 * 1024, 4096), CheckError);
+}
+
+TEST(Validation, RejectsRegisterOverflow) {
+  BlockingParams p = table1_preset(SizeClass::kSmall);
+  p.ks = 32;
+  p.mt = 16;
+  p.nt = 16;  // 16+16+256 > 255
+  p.ms = 32;
+  p.ns = 32;
+  EXPECT_THROW(validate_params(p, kSparsity50, 192 * 1024, 4096), CheckError);
+}
+
+TEST(Validation, RejectsThreadTileNotDividingBlock) {
+  BlockingParams p = table1_preset(SizeClass::kSmall);
+  p.ks = 32;
+  p.mt = 5;
+  EXPECT_THROW(validate_params(p, kSparsity50, 192 * 1024, 4096), CheckError);
+}
+
+TEST(Validation, RejectsOversizedWorkingSet) {
+  BlockingParams p = table1_preset(SizeClass::kLarge);
+  p.ks = 4096;  // way past any shared-memory budget
+  EXPECT_THROW(validate_params(p, kSparsity50, 64 * 1024, 8192), CheckError);
+}
+
+TEST(BlockSmem, DoubleBufferDoublesFootprint) {
+  BlockingParams p = table1_preset(SizeClass::kMedium);
+  p.ks = 64;
+  const auto single = block_smem_bytes(p, kSparsity50, false);
+  const auto dbl = block_smem_bytes(p, kSparsity50, true);
+  EXPECT_EQ(dbl, 2 * single);
+}
+
+TEST(MakeParams, DerivesEverything) {
+  const BlockingParams p = make_params(4096, 4096, 4096, kSparsity75);
+  EXPECT_EQ(p.ms, 64);
+  EXPECT_EQ(p.ns, 128);
+  EXPECT_GT(p.ks, 0);
+  EXPECT_NO_THROW(validate_params(p, kSparsity75, 192 * 1024, 4096));
+}
+
+TEST(WsQs, DerivedExtents) {
+  BlockingParams p = table1_preset(SizeClass::kLarge);
+  p.ks = 128;
+  EXPECT_EQ(p.ws(kSparsity75), 128 * 8 / 32);
+  EXPECT_EQ(p.qs(kSparsity75), 128 / 16);
+}
+
+}  // namespace
+}  // namespace nmspmm

@@ -1,0 +1,169 @@
+// Compression format invariants: mask validation, compress/decompress
+// round trips, padding behaviour, and pattern checking.
+#include <gtest/gtest.h>
+
+#include "core/nm_format.hpp"
+#include "core/pruning.hpp"
+#include "workloads/generators.hpp"
+
+namespace nmspmm {
+namespace {
+
+TEST(NMConfig, SparsityAndDensity) {
+  EXPECT_DOUBLE_EQ((NMConfig{2, 4, 4}).sparsity(), 0.5);
+  EXPECT_DOUBLE_EQ((NMConfig{1, 8, 4}).sparsity(), 0.875);
+  EXPECT_DOUBLE_EQ((NMConfig{4, 32, 16}).sparsity(), 0.875);
+  EXPECT_DOUBLE_EQ((NMConfig{2, 4, 4}).density(), 0.5);
+  EXPECT_DOUBLE_EQ(kSparsity0.sparsity(), 0.0);
+  EXPECT_DOUBLE_EQ(kSparsity50.sparsity(), 0.5);
+  EXPECT_DOUBLE_EQ(kSparsity625.sparsity(), 0.375 + 0.25);
+  EXPECT_DOUBLE_EQ(kSparsity75.sparsity(), 0.75);
+  EXPECT_DOUBLE_EQ(kSparsity875.sparsity(), 0.875);
+}
+
+TEST(NMConfig, HighSparsityThresholdAt70Percent) {
+  EXPECT_FALSE(kSparsity50.is_high_sparsity());
+  EXPECT_FALSE(kSparsity625.is_high_sparsity());
+  EXPECT_TRUE(kSparsity75.is_high_sparsity());
+  EXPECT_TRUE(kSparsity875.is_high_sparsity());
+}
+
+TEST(NMConfig, CompressedRowsAndPadding) {
+  const NMConfig cfg{2, 4, 4};
+  EXPECT_EQ(cfg.compressed_rows(8), 4);
+  EXPECT_EQ(cfg.compressed_rows(9), 6);   // one padded window
+  EXPECT_EQ(cfg.padded_k(9), 12);
+  EXPECT_EQ(cfg.num_groups(16), 4);
+  EXPECT_EQ(cfg.num_groups(17), 5);
+}
+
+TEST(NMConfig, ValidateRejectsBadConfigs) {
+  EXPECT_THROW((NMConfig{5, 4, 4}).validate(), CheckError);   // N > M
+  EXPECT_THROW((NMConfig{0, 4, 4}).validate(), CheckError);   // N = 0
+  EXPECT_THROW((NMConfig{2, 4, 0}).validate(), CheckError);   // L = 0
+  EXPECT_THROW((NMConfig{2, 512, 4}).validate(), CheckError); // M > 256
+  EXPECT_NO_THROW((NMConfig{2, 4, 4}).validate());
+}
+
+TEST(NMMask, ValidateRejectsOutOfWindowOffset) {
+  NMMask mask;
+  mask.config = {2, 4, 4};
+  mask.orig_rows = 4;
+  mask.cols = 4;
+  mask.keep = Matrix<std::uint8_t>(2, 1);
+  mask.keep(0, 0) = 0;
+  mask.keep(1, 0) = 4;  // == M: out of window
+  EXPECT_THROW(mask.validate(), CheckError);
+}
+
+TEST(NMMask, ValidateRejectsNonMonotonicWindow) {
+  NMMask mask;
+  mask.config = {2, 4, 4};
+  mask.orig_rows = 4;
+  mask.cols = 4;
+  mask.keep = Matrix<std::uint8_t>(2, 1);
+  mask.keep(0, 0) = 2;
+  mask.keep(1, 0) = 1;  // decreasing inside the window
+  EXPECT_THROW(mask.validate(), CheckError);
+}
+
+TEST(NMFormat, CompressDecompressRoundTripOnMaskedMatrix) {
+  Rng rng(11);
+  const NMConfig cfg{2, 4, 8};
+  const index_t k = 32, n = 40;
+  MatrixF dense = random_matrix(k, n, rng);
+  const NMMask mask = random_mask(k, n, cfg, rng);
+  const MatrixF pruned = apply_mask(dense.view(), mask);
+  const CompressedNM compressed = compress(pruned.view(), mask);
+  const MatrixF restored = decompress(compressed);
+  EXPECT_EQ(max_abs_diff(pruned.cview(), restored.cview()), 0.0);
+}
+
+TEST(NMFormat, CompressedShapes) {
+  Rng rng(12);
+  const NMConfig cfg{2, 8, 16};
+  const index_t k = 64, n = 48;
+  const CompressedNM c = random_compressed(k, n, cfg, rng);
+  EXPECT_EQ(c.rows(), k / 8 * 2);
+  EXPECT_EQ(c.cols, n);
+  EXPECT_EQ(c.num_groups(), 3);
+  EXPECT_EQ(c.orig_rows, k);
+}
+
+TEST(NMFormat, PaddedWindowsCompressToZero) {
+  Rng rng(13);
+  const NMConfig cfg{2, 4, 4};
+  const index_t k = 6, n = 8;  // k=6 pads to 8: last window rows 6,7 absent
+  MatrixF dense = random_matrix(k, n, rng, 1.0f, 2.0f);  // strictly nonzero
+  const NMMask mask = random_mask(k, n, cfg, rng);
+  const CompressedNM c = compress(dense.view(), mask);
+  // Any compressed entry whose source row is padded must be zero.
+  bool found_padded = false;
+  for (index_t u = 0; u < c.rows(); ++u) {
+    for (index_t g = 0; g < c.num_groups(); ++g) {
+      if (c.source_row(u, g) >= k) {
+        found_padded = true;
+        for (index_t j = g * 4; j < (g + 1) * 4; ++j)
+          EXPECT_EQ(c.values(u, j), 0.0f);
+      }
+    }
+  }
+  // With k=6 and windows of 4, the second window has rows {4,5,6,7} and
+  // must keep 2 of them; at least one draw hits a padded row sometimes,
+  // but regardless the invariant above held wherever it applied.
+  (void)found_padded;
+}
+
+TEST(NMFormat, MatchesMaskDetectsViolations) {
+  Rng rng(14);
+  const NMConfig cfg{1, 4, 4};
+  const index_t k = 16, n = 8;
+  MatrixF dense = random_matrix(k, n, rng, 1.0f, 2.0f);
+  const NMMask mask = random_mask(k, n, cfg, rng);
+  MatrixF pruned = apply_mask(dense.view(), mask);
+  EXPECT_TRUE(matches_mask(pruned.view(), mask));
+  // Set one pruned position nonzero: find a row not kept in group 0.
+  bool kept0[4] = {};
+  kept0[mask.keep(0, 0)] = true;
+  for (int r = 0; r < 4; ++r) {
+    if (!kept0[r]) {
+      pruned(r, 0) = 1.0f;
+      break;
+    }
+  }
+  EXPECT_FALSE(matches_mask(pruned.view(), mask));
+}
+
+TEST(NMFormat, CompressRejectsShapeMismatch) {
+  Rng rng(15);
+  const NMConfig cfg{2, 4, 4};
+  const NMMask mask = random_mask(16, 16, cfg, rng);
+  MatrixF wrong(8, 16);
+  wrong.zero();
+  EXPECT_THROW(compress(wrong.view(), mask), CheckError);
+}
+
+TEST(NMFormat, FootprintBytesCountsValuesAndIndices) {
+  Rng rng(16);
+  const NMConfig cfg{2, 4, 8};
+  const CompressedNM c = random_compressed(32, 32, cfg, rng);
+  const std::size_t expect = 16 * 32 * sizeof(float) + 16 * 4;
+  EXPECT_EQ(c.footprint_bytes(), expect);
+}
+
+// Compression must preserve row order within windows: B'[u] rows of one
+// window appear in increasing source order, which the kernels rely on.
+TEST(NMFormat, SourceRowsMonotonicInsideWindows) {
+  Rng rng(17);
+  const NMConfig cfg{4, 8, 4};
+  const CompressedNM c = random_compressed(64, 32, cfg, rng);
+  for (index_t g = 0; g < c.num_groups(); ++g) {
+    for (index_t u = 0; u + 1 < c.rows(); ++u) {
+      if ((u + 1) % cfg.n == 0) continue;  // window boundary
+      EXPECT_LT(c.source_row(u, g), c.source_row(u + 1, g));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmspmm

@@ -1,0 +1,162 @@
+// Mask builders: magnitude selection, randomness determinism, identical
+// patterns, and the Eq. 2 approximation-error metric.
+#include <gtest/gtest.h>
+
+#include "core/nmspmm.hpp"
+#include "workloads/generators.hpp"
+
+namespace nmspmm {
+namespace {
+
+TEST(MagnitudeMask, KeepsLargestVectors) {
+  // One window of 4 rows, one group of width 4; rows 1 and 3 dominate.
+  const NMConfig cfg{2, 4, 4};
+  MatrixF B(4, 4);
+  B.zero();
+  for (index_t c = 0; c < 4; ++c) {
+    B(1, c) = 10.0f;
+    B(3, c) = 5.0f;
+    B(0, c) = 0.1f;
+    B(2, c) = 0.2f;
+  }
+  const NMMask mask = magnitude_mask(B.view(), cfg);
+  EXPECT_EQ(mask.keep(0, 0), 1);
+  EXPECT_EQ(mask.keep(1, 0), 3);
+}
+
+TEST(MagnitudeMask, SelectsPerGroupIndependently) {
+  const NMConfig cfg{1, 2, 2};
+  MatrixF B(2, 4);
+  B.zero();
+  B(0, 0) = 9.0f;  // group 0 favors row 0
+  B(1, 2) = 9.0f;  // group 1 favors row 1
+  const NMMask mask = magnitude_mask(B.view(), cfg);
+  EXPECT_EQ(mask.keep(0, 0), 0);
+  EXPECT_EQ(mask.keep(0, 1), 1);
+}
+
+TEST(MagnitudeMask, TieBreaksTowardSmallerRow) {
+  const NMConfig cfg{1, 4, 4};
+  MatrixF B(4, 4);
+  B.fill(1.0f);  // all rows tie
+  const NMMask mask = magnitude_mask(B.view(), cfg);
+  EXPECT_EQ(mask.keep(0, 0), 0);
+}
+
+TEST(MagnitudeMask, PrunedMatrixPreservesKeptMass) {
+  Rng rng(21);
+  const NMConfig cfg{2, 4, 8};
+  MatrixF B = random_matrix(64, 64, rng);
+  const NMMask mask = magnitude_mask(B.view(), cfg);
+  const MatrixF pruned = apply_mask(B.view(), mask);
+  // Magnitude pruning keeps at least half the squared mass at 50%
+  // sparsity (it keeps the top half of each window by squared norm).
+  double total = 0.0, kept = 0.0;
+  for (index_t r = 0; r < 64; ++r)
+    for (index_t c = 0; c < 64; ++c) {
+      total += static_cast<double>(B(r, c)) * static_cast<double>(B(r, c));
+      kept += static_cast<double>(pruned(r, c)) *
+              static_cast<double>(pruned(r, c));
+    }
+  EXPECT_GE(kept, 0.5 * total);
+  EXPECT_LE(kept, total);
+}
+
+TEST(RandomMask, DeterministicForSeed) {
+  const NMConfig cfg{2, 8, 4};
+  Rng rng_a(7), rng_b(7);
+  const NMMask a = random_mask(32, 32, cfg, rng_a);
+  const NMMask b = random_mask(32, 32, cfg, rng_b);
+  for (index_t u = 0; u < a.keep.rows(); ++u)
+    for (index_t g = 0; g < a.keep.cols(); ++g)
+      EXPECT_EQ(a.keep(u, g), b.keep(u, g));
+}
+
+TEST(RandomMask, ValidStructure) {
+  const NMConfig cfg{3, 8, 4};
+  Rng rng(22);
+  const NMMask mask = random_mask(33, 30, cfg, rng);  // ragged both ways
+  EXPECT_NO_THROW(mask.validate());
+}
+
+TEST(IdenticalPatternMask, SamePatternAcrossGroups) {
+  const NMConfig cfg{2, 8, 4};
+  Rng rng(23);
+  const NMMask mask = identical_pattern_mask(64, 64, cfg, rng);
+  EXPECT_NO_THROW(mask.validate());
+  for (index_t u = 0; u < mask.keep.rows(); ++u)
+    for (index_t g = 1; g < mask.keep.cols(); ++g)
+      EXPECT_EQ(mask.keep(u, g), mask.keep(u, 0));
+}
+
+TEST(ApproximationError, ZeroForIdenticalMatrices) {
+  Rng rng(24);
+  const MatrixF C = random_matrix(16, 16, rng);
+  EXPECT_DOUBLE_EQ(approximation_error(C.view(), C.view()), 0.0);
+}
+
+TEST(ApproximationError, MeanAbsoluteDeviation) {
+  MatrixF a(2, 2), b(2, 2);
+  a.fill(1.0f);
+  b.fill(1.0f);
+  b(0, 0) = 3.0f;  // |diff| = 2 over 4 elements -> 0.5
+  EXPECT_DOUBLE_EQ(approximation_error(a.view(), b.view()), 0.5);
+}
+
+// Property: magnitude pruning never yields larger approximation error
+// than keeping the *smallest* vectors (an adversarial mask).
+TEST(ApproximationError, MagnitudeBeatsAntiMagnitude) {
+  Rng rng(25);
+  const NMConfig cfg{2, 8, 8};
+  const index_t m = 32, k = 64, n = 64;
+  MatrixF A = random_matrix(m, k, rng);
+  MatrixF B = random_matrix(k, n, rng);
+
+  MatrixF c_exact(m, n);
+  gemm_reference(A.view(), B.view(), c_exact.view());
+
+  const NMMask good = magnitude_mask(B.view(), cfg);
+  // Anti-mask: negate B, take magnitude mask of -B^2 ... simpler: build a
+  // mask keeping the smallest-norm vectors by inverting the scores via
+  // magnitude_mask on a transformed matrix is awkward; construct directly.
+  MatrixF inv(k, n);
+  for (index_t r = 0; r < k; ++r)
+    for (index_t c = 0; c < n; ++c)
+      inv(r, c) = 1.0f / (1e-3f + std::abs(B(r, c)));
+  const NMMask bad = magnitude_mask(inv.view(), cfg);
+
+  auto error_for = [&](const NMMask& mask) {
+    const CompressedNM comp = compress(apply_mask(B.view(), mask).view(), mask);
+    MatrixF c_approx(m, n);
+    spmm_reference(A.view(), comp, c_approx.view());
+    return approximation_error(c_exact.view(), c_approx.view());
+  };
+  EXPECT_LT(error_for(good), error_for(bad));
+}
+
+// Property sweep: masks from every builder validate across configs.
+class MaskProperty : public ::testing::TestWithParam<NMConfig> {};
+
+TEST_P(MaskProperty, AllBuildersProduceValidMasks) {
+  const NMConfig cfg = GetParam();
+  Rng rng(26);
+  const index_t k = 3 * cfg.m + 1;  // force a padded window
+  const index_t n = 2 * cfg.vector_length + 3;
+  MatrixF B = random_matrix(k, n, rng);
+  EXPECT_NO_THROW(magnitude_mask(B.view(), cfg).validate());
+  EXPECT_NO_THROW(random_mask(k, n, cfg, rng).validate());
+  EXPECT_NO_THROW(identical_pattern_mask(k, n, cfg, rng).validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MaskProperty,
+    ::testing::Values(NMConfig{1, 2, 4}, NMConfig{2, 4, 4}, NMConfig{1, 4, 8},
+                      NMConfig{3, 7, 5}, NMConfig{16, 32, 16},
+                      NMConfig{4, 32, 16}, NMConfig{8, 8, 8}),
+    [](const auto& param_info) {
+      return std::to_string(param_info.param.n) + "_" + std::to_string(param_info.param.m) +
+             "_L" + std::to_string(param_info.param.vector_length);
+    });
+
+}  // namespace
+}  // namespace nmspmm

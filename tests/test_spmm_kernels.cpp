@@ -1,0 +1,215 @@
+// Correctness of the V1/V2/V3 optimized kernels against the Eq. 1
+// reference, across sparsity levels, vector lengths, padding edges, and
+// both packing paths.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/nmspmm.hpp"
+#include "workloads/generators.hpp"
+
+namespace nmspmm {
+namespace {
+
+MatrixF run_reference(ConstViewF A, const CompressedNM& B) {
+  MatrixF C(A.rows(), B.cols);
+  spmm_reference(A, B, C.view(), /*rescale=*/false);
+  return C;
+}
+
+BlockingParams small_params(const NMConfig& cfg, index_t k) {
+  BlockingParams p = table1_preset(SizeClass::kSmall);
+  p.ks = derive_ks(cfg, p.ms, p.ns, 32 * 1024, k);
+  return p;
+}
+
+TEST(SpmmKernels, V1MatchesReferenceBasic) {
+  Rng rng(1);
+  const NMConfig cfg{2, 4, 8};
+  const index_t m = 64, k = 64, n = 64;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+  const MatrixF expect = run_reference(A.view(), B);
+  MatrixF C(m, n);
+  spmm_v1(A.view(), B, C.view(), small_params(cfg, k));
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
+}
+
+TEST(SpmmKernels, V2MatchesReferenceBasic) {
+  Rng rng(2);
+  const NMConfig cfg{1, 8, 8};
+  const index_t m = 64, k = 128, n = 96;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+  const MatrixF expect = run_reference(A.view(), B);
+  const BlockingParams p = small_params(cfg, k);
+  const ColInfo info = build_col_info(B, p.ks, p.ns);
+  MatrixF C(m, n);
+  spmm_v2(A.view(), B, C.view(), p, info);
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
+}
+
+TEST(SpmmKernels, V3PackedMatchesReferenceBasic) {
+  Rng rng(3);
+  const NMConfig cfg{1, 8, 8};
+  const index_t m = 48, k = 128, n = 96;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+  const MatrixF expect = run_reference(A.view(), B);
+  const BlockingParams p = small_params(cfg, k);
+  const ColInfo info = build_col_info(B, p.ks, p.ns);
+  MatrixF C(m, n);
+  spmm_v3(A.view(), B, C.view(), p, /*use_packing=*/true, &info, nullptr);
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
+}
+
+TEST(SpmmKernels, V3NonPackedMatchesReferenceBasic) {
+  Rng rng(4);
+  const NMConfig cfg{2, 4, 8};
+  const index_t m = 48, k = 128, n = 96;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+  const MatrixF expect = run_reference(A.view(), B);
+  const BlockingParams p = small_params(cfg, k);
+  const auto resolved = resolve_indices(B);
+  MatrixF C(m, n);
+  spmm_v3(A.view(), B, C.view(), p, /*use_packing=*/false, nullptr, &resolved);
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
+}
+
+TEST(SpmmKernels, V2RequiresMatchingColInfo) {
+  Rng rng(5);
+  const NMConfig cfg{2, 4, 8};
+  const CompressedNM B = random_compressed_int(64, 64, cfg, rng);
+  BlockingParams p = small_params(cfg, 64);
+  const ColInfo info = build_col_info(B, p.ks, p.ns);
+  BlockingParams wrong = p;
+  wrong.ns = 64;
+  if (wrong.ns == p.ns) wrong.ns = 32;
+  const MatrixF A = random_int_matrix(32, 64, rng);
+  MatrixF C(32, 64);
+  EXPECT_THROW(spmm_v2(A.view(), B, C.view(), wrong, info), CheckError);
+}
+
+TEST(SpmmKernels, V3PackedRequiresColInfo) {
+  Rng rng(6);
+  const NMConfig cfg{1, 4, 8};
+  const CompressedNM B = random_compressed_int(64, 64, cfg, rng);
+  const BlockingParams p = small_params(cfg, 64);
+  const MatrixF A = random_int_matrix(32, 64, rng);
+  MatrixF C(32, 64);
+  EXPECT_THROW(
+      spmm_v3(A.view(), B, C.view(), p, true, nullptr, nullptr), CheckError);
+}
+
+TEST(SpmmKernels, MismatchedShapesThrow) {
+  Rng rng(7);
+  const NMConfig cfg{2, 4, 8};
+  const CompressedNM B = random_compressed_int(64, 64, cfg, rng);
+  const MatrixF A = random_int_matrix(32, 48, rng);  // wrong depth
+  MatrixF C(32, 64);
+  EXPECT_THROW(spmm_v1(A.view(), B, C.view(), small_params(cfg, 64)),
+               CheckError);
+}
+
+TEST(SpmmKernels, OverwritesStaleOutput) {
+  Rng rng(8);
+  const NMConfig cfg{2, 4, 8};
+  const index_t m = 40, k = 64, n = 48;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+  const MatrixF expect = run_reference(A.view(), B);
+  MatrixF C(m, n);
+  C.fill(123.0f);  // stale garbage must not leak into the result
+  spmm_v1(A.view(), B, C.view(), small_params(cfg, k));
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every kernel variant must agree exactly with the
+// reference for all combinations of sparsity config, vector length and
+// awkward (non-multiple) shapes.
+
+struct SweepCase {
+  NMConfig cfg;
+  index_t m, k, n;
+};
+
+class KernelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KernelSweep, AllVariantsMatchReference) {
+  const SweepCase& c = GetParam();
+  Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(c.m * 131 + c.k * 17 + c.n));
+  const MatrixF A = random_int_matrix(c.m, c.k, rng);
+  const CompressedNM B = random_compressed_int(c.k, c.n, c.cfg, rng);
+  const MatrixF expect = run_reference(A.view(), B);
+
+  const BlockingParams p = small_params(c.cfg, c.k);
+  const ColInfo info = build_col_info(B, p.ks, p.ns);
+  const auto resolved = resolve_indices(B);
+
+  MatrixF C(c.m, c.n);
+  spmm_v1(A.view(), B, C.view(), p);
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0) << "V1";
+
+  spmm_v2(A.view(), B, C.view(), p, info);
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0) << "V2";
+
+  spmm_v3(A.view(), B, C.view(), p, true, &info, nullptr);
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0) << "V3 packed";
+
+  spmm_v3(A.view(), B, C.view(), p, false, nullptr, &resolved);
+  EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0) << "V3 non-packed";
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const NMConfig configs[] = {
+      {2, 4, 4},  {1, 4, 8},   {2, 4, 16},  {4, 8, 8},  {2, 8, 16},
+      {1, 8, 4},  {16, 32, 16}, {8, 32, 16}, {4, 32, 16}, {12, 32, 16},
+      {32, 32, 16},             // 0% sparsity control
+      {3, 7, 5},                // deliberately awkward N:M and L
+      {1, 16, 32},
+  };
+  const std::tuple<index_t, index_t, index_t> shapes[] = {
+      {33, 64, 64},    // ragged m
+      {64, 100, 64},   // k not a multiple of M for several configs
+      {64, 64, 70},    // ragged n (partial group at the edge)
+      {17, 52, 39},    // everything ragged
+      {128, 256, 160}, // spans multiple chunks and blocks
+      {1, 64, 16},     // single activation row
+  };
+  for (const auto& cfg : configs)
+    for (const auto& [m, k, n] : shapes) cases.push_back({cfg, m, k, n});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KernelSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           const SweepCase& c = info.param;
+                           return std::to_string(c.cfg.n) + "_" +
+                                  std::to_string(c.cfg.m) + "_L" +
+                                  std::to_string(c.cfg.vector_length) + "_m" +
+                                  std::to_string(c.m) + "_k" +
+                                  std::to_string(c.k) + "_n" +
+                                  std::to_string(c.n);
+                         });
+
+// Rescale semantics (Eq. 1's M/N factor) must match the reference.
+TEST(SpmmKernels, ReferenceRescaleScalesByMOverN) {
+  Rng rng(9);
+  const NMConfig cfg{2, 4, 8};
+  const index_t m = 16, k = 32, n = 32;
+  const MatrixF A = random_int_matrix(m, k, rng);
+  const CompressedNM B = random_compressed_int(k, n, cfg, rng);
+  MatrixF plain(m, n), scaled(m, n);
+  spmm_reference(A.view(), B, plain.view(), false);
+  spmm_reference(A.view(), B, scaled.view(), true);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j)
+      EXPECT_FLOAT_EQ(scaled(i, j), plain(i, j) * 2.0f);
+}
+
+}  // namespace
+}  // namespace nmspmm

@@ -1,0 +1,249 @@
+// Utilities: aligned storage, matrix container/views, RNG, statistics,
+// thread pool, CLI parsing, and table rendering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+
+#include "util/aligned_buffer.hpp"
+#include "util/cli.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmspmm {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndSize) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(buf.size_bytes(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kDefaultAlignment,
+            0u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(64);
+  void* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_THROW(AlignedBuffer(64, 48), CheckError);
+}
+
+TEST(AlignedBuffer, ZeroSizeIsEmpty) {
+  AlignedBuffer buf(0);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(RoundUp, Basics) {
+  EXPECT_EQ(round_up(0, 16), 0u);
+  EXPECT_EQ(round_up(1, 16), 16u);
+  EXPECT_EQ(round_up(16, 16), 16u);
+  EXPECT_EQ(round_up(17, 16), 32u);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+TEST(Matrix, PaddedLeadingDimension) {
+  MatrixF m(3, 5);
+  EXPECT_EQ(m.ld(), 16);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 5);
+}
+
+TEST(Matrix, FillAndIndexing) {
+  MatrixF m(4, 4);
+  m.fill(2.5f);
+  EXPECT_EQ(m(3, 3), 2.5f);
+  m(1, 2) = -1.0f;
+  EXPECT_EQ(m(1, 2), -1.0f);
+  EXPECT_EQ(m.view()(1, 2), -1.0f);
+}
+
+TEST(Matrix, CopyIsDeep) {
+  MatrixF a(2, 2);
+  a.fill(1.0f);
+  MatrixF b = a;
+  b(0, 0) = 9.0f;
+  EXPECT_EQ(a(0, 0), 1.0f);
+}
+
+TEST(Matrix, BlockViewClamps) {
+  MatrixF m(4, 6);
+  m.fill(0.0f);
+  auto blk = m.view().block(2, 4, 10, 10);
+  EXPECT_EQ(blk.rows(), 2);
+  EXPECT_EQ(blk.cols(), 2);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  MatrixF a(2, 2), b(2, 2);
+  a.fill(1.0f);
+  b.fill(1.0f);
+  b(1, 1) = -2.0f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.cview(), b.cview()), 3.0);
+}
+
+TEST(Rng, DeterministicSequences) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const SampleStats s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  const SampleStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, TimeCallableRunsEnoughIterations) {
+  int calls = 0;
+  const SampleStats s = time_callable([&] { ++calls; }, 1, 3, 0.0);
+  EXPECT_GE(s.count, 3u);
+  EXPECT_EQ(calls, static_cast<int>(s.count) + 1);  // +1 warmup
+}
+
+TEST(ThreadPool, RunsAllChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.run_chunks(100, [&](std::int64_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SerialPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.run_chunks(10, [&](std::int64_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(256);
+  parallel_for(0, 256, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](index_t, index_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  CliParser cli("prog", "test");
+  cli.add_flag("fast", false, "speed");
+  cli.add_int("iters", 10, "iterations");
+  cli.add_double("scale", 1.5, "scaling");
+  cli.add_string("name", "x", "label");
+  const char* argv[] = {"prog", "--fast", "--iters=20", "--scale", "2.5",
+                        "--name=abc"};
+  ASSERT_TRUE(cli.parse(6, const_cast<char**>(argv)));
+  EXPECT_TRUE(cli.get_flag("fast"));
+  EXPECT_EQ(cli.get_int("iters"), 20);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 2.5);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  CliParser cli("prog", "test");
+  cli.add_int("iters", 10, "iterations");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("iters"), 10);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Table, PrintAlignsColumns) {
+  ResultTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  ResultTable t({"x"});
+  t.add_row({"a,b"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  ResultTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(ResultTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(ResultTable::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace nmspmm

@@ -1,0 +1,99 @@
+// Workload generators: the Llama dataset of Section IV-A and Table II.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/generators.hpp"
+#include "workloads/llama_shapes.hpp"
+
+namespace nmspmm {
+namespace {
+
+TEST(LlamaDataset, Exactly100Points) {
+  EXPECT_EQ(llama_dataset().size(), 100u);
+  EXPECT_EQ(llama_layer_tuples().size(), 20u);
+}
+
+TEST(LlamaDataset, FiveMValuesPowersOfTwo) {
+  std::set<index_t> ms;
+  for (const auto& p : llama_dataset()) ms.insert(p.m);
+  EXPECT_EQ(ms, (std::set<index_t>{256, 512, 1024, 2048, 4096}));
+}
+
+TEST(LlamaDataset, ShapesArePositiveAndLabeled) {
+  for (const auto& p : llama_dataset()) {
+    EXPECT_GT(p.m, 0);
+    EXPECT_GT(p.n, 0);
+    EXPECT_GT(p.k, 0);
+    EXPECT_FALSE(p.label.empty());
+    EXPECT_GT(p.flops_dense(), 0.0);
+  }
+}
+
+TEST(LlamaDataset, ContainsKnownLlamaDimensions) {
+  bool found_7b_qkv = false, found_65b_down = false;
+  for (const auto& p : llama_layer_tuples()) {
+    if (p.label == "7B-qkv") {
+      found_7b_qkv = true;
+      EXPECT_EQ(p.n, 3 * 4096);
+      EXPECT_EQ(p.k, 4096);
+    }
+    if (p.label == "65B-mlp_down") {
+      found_65b_down = true;
+      EXPECT_EQ(p.n, 8192);
+      EXPECT_EQ(p.k, 22016);
+    }
+  }
+  EXPECT_TRUE(found_7b_qkv);
+  EXPECT_TRUE(found_65b_down);
+}
+
+TEST(Table2, MatchesPaper) {
+  const auto pts = table2_points();
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0].label, "A");
+  EXPECT_EQ(pts[0].m, 512);
+  EXPECT_EQ(pts[0].n, 512);
+  EXPECT_EQ(pts[0].k, 512);
+  EXPECT_EQ(pts[5].label, "F");
+  EXPECT_EQ(pts[5].m, 4096);
+  EXPECT_EQ(pts[5].n, 4096);
+  EXPECT_EQ(pts[5].k, 4096);
+}
+
+TEST(Generators, RandomMatrixInRange) {
+  Rng rng(71);
+  const MatrixF m = random_matrix(16, 16, rng, -2.0f, 3.0f);
+  for (index_t r = 0; r < 16; ++r)
+    for (index_t c = 0; c < 16; ++c) {
+      EXPECT_GE(m(r, c), -2.0f);
+      EXPECT_LT(m(r, c), 3.0f);
+    }
+}
+
+TEST(Generators, RandomCompressedHasValidStructure) {
+  Rng rng(72);
+  const NMConfig cfg{2, 8, 8};
+  const CompressedNM c = random_compressed(65, 50, cfg, rng);
+  EXPECT_EQ(c.orig_rows, 65);
+  EXPECT_EQ(c.cols, 50);
+  EXPECT_EQ(c.rows(), cfg.compressed_rows(65));
+  for (index_t u = 0; u < c.rows(); ++u)
+    for (index_t g = 0; g < c.num_groups(); ++g)
+      EXPECT_LT(c.indices(u, g), cfg.m);
+}
+
+TEST(Generators, IntMatrixIsExactlyRepresentable) {
+  Rng rng(73);
+  const MatrixF m = random_int_matrix(8, 8, rng, -4, 4);
+  for (index_t r = 0; r < 8; ++r)
+    for (index_t c = 0; c < 8; ++c) {
+      const float v = m(r, c);
+      EXPECT_EQ(v, static_cast<float>(static_cast<int>(v)));
+      EXPECT_GE(v, -4.0f);
+      EXPECT_LE(v, 4.0f);
+    }
+}
+
+}  // namespace
+}  // namespace nmspmm
