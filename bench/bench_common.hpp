@@ -36,9 +36,12 @@ inline std::string sparsity_label(const NMConfig& cfg) {
 }
 
 /// Measured wall-clock seconds of one plan execution (median of repeats).
+/// Execution errors are fatal here: a bench measuring a failed call would
+/// report garbage.
 inline double measure_plan(const SpmmPlan& plan, ConstViewF A, ViewF C,
                            double min_seconds = 0.15) {
-  return time_callable([&] { plan.execute(A, C); }, 1, 3, min_seconds).median;
+  return time_callable([&] { NMSPMM_CHECK_OK(plan.execute(A, C)); }, 1, 3,
+                       min_seconds).median;
 }
 
 /// A fully prepared measured problem instance.

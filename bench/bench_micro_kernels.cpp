@@ -84,7 +84,7 @@ void BM_NmSpmm(benchmark::State& state) {
   MatrixF C(kM, kN);
   const auto plan = SpmmPlan::create(kM, weights);
   for (auto _ : state) {
-    plan.execute(A.view(), C.view());
+    NMSPMM_CHECK_OK(plan.execute(A.view(), C.view()));
     benchmark::DoNotOptimize(C.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(

@@ -20,6 +20,7 @@ int main() {
   MatrixF B = random_matrix(k, n, rng);
   MatrixF c_dense(m, n);
   gemm_reference(A.view(), B.view(), c_dense.view());
+  Engine engine;
 
   ResultTable table({"sparsity", "L", "err magnitude", "err random",
                      "GFLOP/s"});
@@ -33,21 +34,23 @@ int main() {
         const CompressedNM compressed = compress(
             apply_mask(B.view(), mask).view(), mask);
         MatrixF c(m, n);
-        SpmmPlan::create(m, compressed).execute(A.view(), c.view());
+        NMSPMM_CHECK_OK(engine.spmm(A.view(), compressed, c.view()));
         return approximation_error(c_dense.view(), c.view());
       };
       const double err_mag = error_of(mag);
       const double err_rnd = error_of(rnd);
 
-      const SpmmPlan plan = SpmmPlan::create(m, compress(B.view(), mag));
+      const auto weights = std::make_shared<const CompressedNM>(
+          compress(B.view(), mag));
       MatrixF c(m, n);
       const double sec = time_callable(
-          [&] { plan.execute(A.view(), c.view()); }, 1, 3, 0.05).median;
+          [&] { NMSPMM_CHECK_OK(engine.spmm(A.view(), weights, c.view())); },
+          1, 3, 0.05).median;
       table.add_row({std::to_string(100 - 100 * n_keep / 32) + "%",
                      std::to_string(L), ResultTable::fmt(err_mag, 4),
                      ResultTable::fmt(err_rnd, 4),
                      ResultTable::fmt(
-                         spmm_flops(m, n, plan.weights().rows()) / sec / 1e9,
+                         spmm_flops(m, n, weights->rows()) / sec / 1e9,
                          1)});
     }
   }

@@ -48,15 +48,18 @@ int main(int argc, char** argv) {
   auto weights = std::make_shared<const CompressedNM>(
       random_compressed(k, n, cfg, rng));
   MatrixF C(m, n);
+  Engine engine;
   auto measure = [&](std::optional<BlockingParams> params) {
     SpmmOptions opt;
     if (params) {
       params->ks = 0;  // re-derive for the CPU cache budget
       opt.params = params;
     }
-    const auto plan = SpmmPlan::create(m, weights, opt);
-    return time_callable([&] { plan.execute(A.view(), C.view()); }, 1, 3,
-                         0.1).median;
+    const auto plan = engine.plan_for(m, weights, opt);
+    NMSPMM_CHECK_OK(plan.status());
+    return time_callable(
+        [&] { NMSPMM_CHECK_OK((*plan)->execute(A.view(), C.view())); }, 1, 3,
+        0.1).median;
   };
   const double preset_s = measure(std::nullopt);
   const double tuned_s = measure(ranked.front().params);

@@ -50,23 +50,30 @@ int main(int argc, char** argv) {
               static_cast<long long>(tokens), static_cast<long long>(hidden),
               static_cast<long long>(ffn), config.to_string().c_str());
 
-  // Offline: prune + compress + plan each projection.
+  // Offline: prune + compress each projection; the engine plans each
+  // weight matrix on first use and reuses the plans for later batches.
   Timer prep;
-  const SpmmPlan plan_g = SpmmPlan::create(
-      tokens, compress(Wg.view(), magnitude_mask(Wg.view(), config)));
-  const SpmmPlan plan_u = SpmmPlan::create(
-      tokens, compress(Wu.view(), magnitude_mask(Wu.view(), config)));
-  const SpmmPlan plan_d = SpmmPlan::create(
-      tokens, compress(Wd.view(), magnitude_mask(Wd.view(), config)));
-  std::printf("offline pruning + planning: %.1f ms\n", prep.millis());
+  const auto wg = std::make_shared<const CompressedNM>(
+      compress(Wg.view(), magnitude_mask(Wg.view(), config)));
+  const auto wu = std::make_shared<const CompressedNM>(
+      compress(Wu.view(), magnitude_mask(Wu.view(), config)));
+  const auto wd = std::make_shared<const CompressedNM>(
+      compress(Wd.view(), magnitude_mask(Wd.view(), config)));
+  Engine engine;
+  std::printf("offline pruning + compression: %.1f ms\n", prep.millis());
 
   MatrixF gate(tokens, ffn), up(tokens, ffn), out(tokens, hidden);
 
+  // Warm the plan cache (first call per weight matrix plans).
+  NMSPMM_CHECK_OK(engine.spmm(A.view(), wg, gate.view()));
+  NMSPMM_CHECK_OK(engine.spmm(A.view(), wu, up.view()));
+  NMSPMM_CHECK_OK(engine.spmm(gate.view(), wd, out.view()));
+
   Timer sparse_t;
-  plan_g.execute(A.view(), gate.view());
-  plan_u.execute(A.view(), up.view());
+  NMSPMM_CHECK_OK(engine.spmm(A.view(), wg, gate.view()));
+  NMSPMM_CHECK_OK(engine.spmm(A.view(), wu, up.view()));
   silu_mul(gate, up);
-  plan_d.execute(gate.view(), out.view());
+  NMSPMM_CHECK_OK(engine.spmm(gate.view(), wd, out.view()));
   const double sparse_ms = sparse_t.millis();
 
   MatrixF gate_d(tokens, ffn), up_d(tokens, ffn), out_d(tokens, hidden);
@@ -84,9 +91,13 @@ int main(int argc, char** argv) {
   std::printf("weight memory: %.1f MB dense -> %.1f MB compressed\n",
               static_cast<double>(2 * hidden * ffn + ffn * hidden) *
                   sizeof(float) / 1e6,
-              static_cast<double>(plan_g.weights().footprint_bytes() +
-                                  plan_u.weights().footprint_bytes() +
-                                  plan_d.weights().footprint_bytes()) /
+              static_cast<double>(wg->footprint_bytes() +
+                                  wu->footprint_bytes() +
+                                  wd->footprint_bytes()) /
                   1e6);
+  const auto stats = engine.cache_stats();
+  std::printf("engine: %zu cached plan(s), %llu hit(s) / %llu miss(es)\n",
+              stats.size, static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
   return 0;
 }

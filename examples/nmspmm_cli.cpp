@@ -23,8 +23,14 @@ int main(int argc, char** argv) {
   cli.add_string("packing", "auto", "auto | paper | always | never");
   cli.add_string("gpu", "", "also print the cost-model prediction "
                             "(a100/3090/4090; empty = skip)");
+  cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
   cli.add_int("seed", 1, "rng seed");
   if (!cli.parse(argc, argv)) return 1;
+  const long long threads = cli.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (got %lld)\n", threads);
+    return 1;
+  }
 
   const index_t m = cli.get_int("m"), n = cli.get_int("n"),
                 k = cli.get_int("k");
@@ -47,19 +53,29 @@ int main(int argc, char** argv) {
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
   const MatrixF A = random_matrix(m, k, rng);
   const MatrixF Bd = random_matrix(k, n, rng);
-  const CompressedNM weights =
-      compress(Bd.view(), magnitude_mask(Bd.view(), cfg));
+  const auto weights = std::make_shared<const CompressedNM>(
+      compress(Bd.view(), magnitude_mask(Bd.view(), cfg)));
 
   std::printf("problem: %lld x %lld x %lld, %s, variant %s, packing %s\n",
               static_cast<long long>(m), static_cast<long long>(n),
               static_cast<long long>(k), cfg.to_string().c_str(),
               variant.c_str(), packing.c_str());
 
-  const SpmmPlan plan = SpmmPlan::create(
-      m, std::make_shared<const CompressedNM>(weights), opt);
-  std::printf("plan: %s | packed path: %s | packing ratio: %.3f\n",
+  EngineOptions engine_opt;
+  engine_opt.num_threads = static_cast<unsigned>(threads);
+  Engine engine(engine_opt);
+  const auto plan_or = engine.plan_for(m, weights, opt);
+  if (!plan_or.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan_or.status().to_string().c_str());
+    return 1;
+  }
+  const SpmmPlan& plan = **plan_or;
+  std::printf("plan: %s | packed path: %s | packing ratio: %.3f | "
+              "%u thread(s)\n",
               plan.params().to_string().c_str(),
-              plan.uses_packing() ? "yes" : "no", plan.packing_ratio());
+              plan.uses_packing() ? "yes" : "no", plan.packing_ratio(),
+              engine.num_threads());
 
   MatrixF C(m, n);
   const double sparse_s = bench::measure_plan(plan, A.view(), C.view());
@@ -68,7 +84,7 @@ int main(int argc, char** argv) {
       [&] { gemm_blocked(A.view(), Bd.view(), Cd.view()); }, 1, 3,
       0.15).median;
 
-  const double flops = spmm_flops(m, n, weights.rows());
+  const double flops = spmm_flops(m, n, weights->rows());
   std::printf("sparse: %.3f ms (%.1f GFLOP/s) | dense: %.3f ms (%.1f "
               "GFLOP/s)\n",
               sparse_s * 1e3, flops / sparse_s / 1e9, dense_s * 1e3,

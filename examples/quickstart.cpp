@@ -1,9 +1,10 @@
-// Quickstart: the complete NM-SpMM workflow in ~40 lines.
+// Quickstart: the complete NM-SpMM serving workflow in ~40 lines.
 //
 //   1. take a dense weight matrix B (k x n),
 //   2. build a vector-wise 2:8 (75% sparsity) magnitude mask,
 //   3. compress B into the (values, index) representation of Figure 1,
-//   4. create an execution plan (offline pre-processing happens here),
+//   4. hand the weights to an Engine — plan pre-processing happens
+//      transparently on first use and is cached per batch-size bucket,
 //   5. run C = A (*) (B', D) and compare against the dense product.
 #include <cstdio>
 
@@ -26,22 +27,31 @@ int main() {
   const NMConfig config{2, 8, 16};
   std::printf("pruning B with N:M = %s\n", config.to_string().c_str());
   const NMMask mask = magnitude_mask(B.view(), config);
-  const CompressedNM compressed = compress(B.view(), mask);
+  const auto compressed = std::make_shared<const CompressedNM>(
+      compress(B.view(), mask));
   std::printf("compressed: %lld x %lld values + %lld x %lld indices "
               "(%.1f%% of dense bytes)\n",
-              static_cast<long long>(compressed.rows()),
-              static_cast<long long>(compressed.cols),
-              static_cast<long long>(compressed.rows()),
-              static_cast<long long>(compressed.num_groups()),
-              100.0 * static_cast<double>(compressed.footprint_bytes()) /
+              static_cast<long long>(compressed->rows()),
+              static_cast<long long>(compressed->cols),
+              static_cast<long long>(compressed->rows()),
+              static_cast<long long>(compressed->num_groups()),
+              100.0 * static_cast<double>(compressed->footprint_bytes()) /
                   (static_cast<double>(k) * n * sizeof(float)));
 
-  // Plan once per weight matrix, execute per batch.
-  const SpmmPlan plan = SpmmPlan::create(m, compressed);
+  // The engine owns the worker pool and caches one plan per batch-size
+  // bucket: the first spmm() call plans, repeats reuse the cached plan.
+  Engine engine;
   MatrixF C(m, n);
+  NMSPMM_CHECK_OK(engine.spmm(A.view(), compressed, C.view()));  // plan+run
   Timer timer;
-  plan.execute(A.view(), C.view());
+  NMSPMM_CHECK_OK(engine.spmm(A.view(), compressed, C.view()));  // cached
   const double sparse_ms = timer.millis();
+  const auto stats = engine.cache_stats();
+  std::printf("plan cache: %llu hit(s), %llu miss(es), %zu plan(s) cached, "
+              "%u worker thread(s)\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses), stats.size,
+              engine.num_threads());
 
   // Dense reference for time and accuracy comparison.
   MatrixF c_dense(m, n);

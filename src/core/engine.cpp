@@ -1,0 +1,159 @@
+#include "core/engine.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace nmspmm {
+
+namespace {
+
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+std::size_t hash_options(const SpmmOptions& o) {
+  std::size_t h = 0;
+  hash_combine(h, static_cast<std::size_t>(o.variant));
+  hash_combine(h, static_cast<std::size_t>(o.packing));
+  hash_combine(h, o.smem_bytes);
+  hash_combine(h, o.rescale ? 1u : 0u);
+  hash_combine(h, o.num_threads);
+  if (o.params) {
+    const BlockingParams& p = *o.params;
+    for (index_t f : {p.ms, p.ns, p.ks, p.mt, p.nt, p.mr, p.nr}) {
+      hash_combine(h, static_cast<std::size_t>(f));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t Engine::KeyHash::operator()(const Key& k) const noexcept {
+  std::size_t h = std::hash<const void*>{}(k.weights);
+  hash_combine(h, static_cast<std::size_t>(k.bucket_m));
+  hash_combine(h, hash_options(k.options));
+  return h;
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  if (options_.plan_cache_capacity == 0) options_.plan_cache_capacity = 1;
+  if (options_.min_batch_bucket < 1) options_.min_batch_bucket = 1;
+  // Aliases the process-global pool for the default thread count, so a
+  // process mixing engines and standalone plans runs one worker set.
+  pool_ = ThreadPool::shared(options_.num_threads);
+}
+
+index_t Engine::bucket_batch(index_t m, index_t min_bucket) {
+  if (m <= min_bucket) return min_bucket;
+  index_t bucket = min_bucket;
+  while (bucket < m) bucket *= 2;
+  return bucket;
+}
+
+StatusOr<std::shared_ptr<const SpmmPlan>> Engine::plan_for(
+    index_t m, std::shared_ptr<const CompressedNM> B, SpmmOptions options) {
+  if (B == nullptr) {
+    return Status::InvalidArgument("weights shared_ptr is null");
+  }
+  if (m < 1) {
+    std::ostringstream os;
+    os << "batch m=" << m << " must be positive";
+    return Status::InvalidArgument(os.str());
+  }
+  // The engine's pool (or its serial mode) decides the threading, not
+  // the per-call option — normalize it so it can't fragment the cache,
+  // and so a serial engine's null pool_ stays serial inside the plan.
+  options.num_threads = options_.num_threads == 1 ? 1 : 0;
+  Key key{B.get(), bucket_batch(m, options_.min_batch_bucket), options};
+
+  {
+    std::lock_guard lock(mutex_);
+    if (auto it = index_.find(key); it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+      return it->second->plan;
+    }
+    ++stats_.misses;
+  }
+
+  // Build outside the lock: pre-processing is the expensive part and
+  // must not serialize concurrent requests for other weights. Two
+  // threads racing on the same key both build; the loser's plan is
+  // dropped in favor of the first insert.
+  std::shared_ptr<const SpmmPlan> plan;
+  try {
+    plan = std::make_shared<const SpmmPlan>(
+        SpmmPlan::create(key.bucket_m, std::move(B), options, pool_));
+  } catch (const CheckError& e) {
+    return Status::InvalidArgument(e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+
+  std::lock_guard lock(mutex_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+  lru_.push_front(Entry{key, plan});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > options_.plan_cache_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return plan;
+}
+
+Status Engine::spmm(ConstViewF A, std::shared_ptr<const CompressedNM> B,
+                    ViewF C, SpmmOptions options) {
+  auto plan = plan_for(A.rows(), std::move(B), std::move(options));
+  NMSPMM_RETURN_IF_ERROR(plan.status());
+  return (*plan)->execute(A, C);
+}
+
+Status Engine::spmm(ConstViewF A, const CompressedNM& B, ViewF C,
+                    SpmmOptions options) {
+  if (A.rows() < 1) {
+    return Status::InvalidArgument("activation batch is empty");
+  }
+  options.num_threads = options_.num_threads == 1 ? 1 : 0;
+  try {
+    const SpmmPlan plan =
+        SpmmPlan::create(A.rows(), std::make_shared<const CompressedNM>(B),
+                         options, pool_);
+    return plan.execute(A, C);
+  } catch (const CheckError& e) {
+    return Status::InvalidArgument(e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+Engine::CacheStats Engine::cache_stats() const {
+  std::lock_guard lock(mutex_);
+  CacheStats stats = stats_;
+  stats.size = lru_.size();
+  return stats;
+}
+
+void Engine::clear_cache() {
+  std::lock_guard lock(mutex_);
+  index_.clear();
+  lru_.clear();
+}
+
+Engine& Engine::global() {
+  static Engine engine;
+  return engine;
+}
+
+// Deprecated one-shot shim retained for source compatibility; routes
+// through the global engine's pool, throwing like the historical API.
+void nm_spmm(ConstViewF A, const CompressedNM& B, ViewF C,
+             SpmmOptions options) {
+  Engine::global().spmm(A, B, C, std::move(options)).check_ok();
+}
+
+}  // namespace nmspmm

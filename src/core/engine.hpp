@@ -1,0 +1,124 @@
+// nmspmm::Engine — the serving-oriented entry point.
+//
+// An inference server sees one long-lived weight matrix and a stream of
+// activation batches of varying row counts. The paper's workflow (offline
+// pre-processing amortized over many executions) maps onto that as a
+// plan cache: the engine keys plans by (weights identity, batch-size
+// bucket, options) and builds one transparently on first use, so
+//
+//   nmspmm::Engine engine;
+//   engine.spmm(A.view(), weights, C.view());   // any batch size
+//
+// never fails on an unplanned shape and never re-runs pre-processing for
+// a shape it has already served. Batch sizes are bucketed (rounded up to
+// a power of two) so a ragged request stream maps onto a handful of
+// plans; a plan built for bucket m serves every batch m' <= m.
+//
+// The engine also owns the worker pool: every cached plan executes on
+// the same threads (EngineOptions::num_threads, 0 = hardware
+// concurrency), so a process hosting several engines controls its total
+// thread count explicitly. All entry points are thread-safe and report
+// recoverable errors as Status — nothing in the serving path throws.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/spmm.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmspmm {
+
+struct EngineOptions {
+  /// Worker threads shared by every plan this engine builds.
+  /// 0 = hardware concurrency; 1 = strictly serial execution.
+  unsigned num_threads = 0;
+  /// Cached plans beyond this are evicted least-recently-used. Each plan
+  /// holds its pre-processing artifacts (col_info / resolved indices), so
+  /// the cap bounds memory on servers hosting many weight matrices.
+  std::size_t plan_cache_capacity = 64;
+  /// Smallest planned batch: requests with m below this share one plan.
+  index_t min_batch_bucket = 16;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// C = A (*) (B, D) for any batch size, building or reusing a cached
+  /// plan. @p B is the weights identity: pass the *same* shared_ptr for
+  /// repeated calls against the same weights to hit the cache.
+  Status spmm(ConstViewF A, std::shared_ptr<const CompressedNM> B, ViewF C,
+              SpmmOptions options = {});
+
+  /// One-shot convenience overload: copies @p B and plans for exactly
+  /// this batch, bypassing the cache (a raw reference has no stable
+  /// identity to key on). Prefer the shared_ptr overload for serving.
+  Status spmm(ConstViewF A, const CompressedNM& B, ViewF C,
+              SpmmOptions options = {});
+
+  /// Fetch (building if needed) the cached plan serving batches of up to
+  /// m rows. The returned plan is immutable and safe to execute from any
+  /// thread; it stays valid after eviction as long as the caller holds
+  /// the shared_ptr.
+  StatusOr<std::shared_ptr<const SpmmPlan>> plan_for(
+      index_t m, std::shared_ptr<const CompressedNM> B,
+      SpmmOptions options = {});
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;  ///< plans currently cached
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+  void clear_cache();
+
+  /// The engine's worker pool (size 1 when running serially). Exposed so
+  /// callers can co-schedule auxiliary work on the same threads.
+  [[nodiscard]] ThreadPool* pool() const { return pool_.get(); }
+  [[nodiscard]] unsigned num_threads() const {
+    return pool_ != nullptr ? pool_->size() : 1;
+  }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// Round a batch size up to its plan bucket: min_bucket for small
+  /// batches, the next power of two beyond that.
+  static index_t bucket_batch(index_t m, index_t min_bucket);
+
+  /// Process-global engine backing the deprecated nm_spmm() shim.
+  static Engine& global();
+
+ private:
+  struct Key {
+    const CompressedNM* weights = nullptr;
+    index_t bucket_m = 0;
+    SpmmOptions options;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const SpmmPlan> plan;
+  };
+
+  EngineOptions options_;
+  std::shared_ptr<ThreadPool> pool_;  ///< null when running serially
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  CacheStats stats_;
+};
+
+}  // namespace nmspmm

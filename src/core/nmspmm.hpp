@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/col_info.hpp"     // IWYU pragma: export
+#include "core/engine.hpp"       // IWYU pragma: export
 #include "core/kernel_params.hpp" // IWYU pragma: export
 #include "core/nm_config.hpp"    // IWYU pragma: export
 #include "core/nm_format.hpp"    // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "core/spmm.hpp"
 
+#include <sstream>
+
 #include "core/spmm_ref.hpp"
 
 namespace nmspmm {
@@ -10,13 +12,20 @@ SpmmPlan SpmmPlan::create(index_t m, CompressedNM B, SpmmOptions options) {
 }
 
 SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
-                          SpmmOptions options) {
+                          SpmmOptions options,
+                          std::shared_ptr<ThreadPool> pool) {
   NMSPMM_CHECK(B != nullptr);
   NMSPMM_CHECK_MSG(m >= 1, "planned batch m must be positive");
   B->config.validate();
   SpmmPlan plan;
   plan.weights_ = std::move(B);
   plan.options_ = options;
+  plan.planned_m_ = m;
+  // A plan never spawns threads per call: it borrows the injected
+  // (Engine's) pool, aliases the process-global one, or — for an
+  // explicit non-default thread count — owns a pool built once here.
+  plan.pool_ = pool != nullptr ? std::move(pool)
+                               : ThreadPool::shared(options.num_threads);
 
   const CompressedNM& w = *plan.weights_;
   plan.params_ = options.params.value_or(
@@ -57,46 +66,62 @@ SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
   return plan;
 }
 
-void SpmmPlan::execute(ConstViewF A, ViewF C) const {
+Status SpmmPlan::execute(ConstViewF A, ViewF C) const {
   const CompressedNM& B = *weights_;
-  NMSPMM_CHECK_MSG(A.cols() == B.orig_rows,
-                   "A depth " << A.cols() << " != weights k " << B.orig_rows);
-  NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
-  switch (options_.variant) {
-    case KernelVariant::kReference:
-      spmm_reference(A, B, C, options_.rescale);
-      return;
-    case KernelVariant::kV1:
-      spmm_v1(A, B, C, params_);
-      break;
-    case KernelVariant::kV2:
-      spmm_v2(A, B, C, params_, *col_info_);
-      break;
-    case KernelVariant::kV3:
-      spmm_v3(A, B, C, params_, use_packing_,
-              col_info_ ? &*col_info_ : nullptr,
-              resolved_ ? &*resolved_ : nullptr);
-      break;
+  if (A.cols() != B.orig_rows) {
+    std::ostringstream os;
+    os << "A depth " << A.cols() << " != weights k " << B.orig_rows;
+    return Status::InvalidArgument(os.str());
   }
-  if (options_.rescale) {
-    const float scale = static_cast<float>(B.config.m) /
-                        static_cast<float>(B.config.n);
-    for (index_t r = 0; r < C.rows(); ++r) {
-      float* row = C.row(r);
-      for (index_t c = 0; c < C.cols(); ++c) row[c] *= scale;
+  if (C.rows() != A.rows() || C.cols() != B.cols) {
+    std::ostringstream os;
+    os << "C is " << C.rows() << "x" << C.cols() << " but must be "
+       << A.rows() << "x" << B.cols;
+    return Status::InvalidArgument(os.str());
+  }
+  if (A.rows() > planned_m_) {
+    std::ostringstream os;
+    os << "batch m=" << A.rows() << " exceeds the planned m=" << planned_m_
+       << "; create a plan for the larger batch or route the call through "
+          "nmspmm::Engine, which re-plans per batch-size bucket";
+    return Status::FailedPrecondition(os.str());
+  }
+  ThreadPool* pool = pool_.get();
+  try {
+    switch (options_.variant) {
+      case KernelVariant::kReference:
+        spmm_reference(A, B, C, options_.rescale);
+        return Status::Ok();
+      case KernelVariant::kV1:
+        spmm_v1(A, B, C, params_, pool);
+        break;
+      case KernelVariant::kV2:
+        spmm_v2(A, B, C, params_, *col_info_, pool);
+        break;
+      case KernelVariant::kV3:
+        spmm_v3(A, B, C, params_, use_packing_,
+                col_info_ ? &*col_info_ : nullptr,
+                resolved_ ? &*resolved_ : nullptr, pool);
+        break;
     }
+    if (options_.rescale) {
+      const float scale = static_cast<float>(B.config.m) /
+                          static_cast<float>(B.config.n);
+      for (index_t r = 0; r < C.rows(); ++r) {
+        float* row = C.row(r);
+        for (index_t c = 0; c < C.cols(); ++c) row[c] *= scale;
+      }
+    }
+  } catch (const std::exception& e) {
+    // Kernel invariant violations and worker-side failures (e.g.
+    // bad_alloc surfaced by run_chunks) — recoverable for the server.
+    return Status::Internal(e.what());
   }
+  return Status::Ok();
 }
 
 double SpmmPlan::packing_ratio() const {
   return col_info_ ? col_info_->mean_packing_ratio() : 1.0;
-}
-
-void nm_spmm(ConstViewF A, const CompressedNM& B, ViewF C,
-             SpmmOptions options) {
-  auto shared = std::make_shared<const CompressedNM>(B);  // copy: one-shot API
-  SpmmPlan::create(A.rows(), std::move(shared), std::move(options))
-      .execute(A, C);
 }
 
 }  // namespace nmspmm

@@ -1,12 +1,26 @@
-// Public NM-SpMM entry point.
+// NM-SpMM plan layer: offline pre-processing bound to one weight matrix.
 //
 // SpmmPlan mirrors the workflow of the released library: build a plan
 // once per weight matrix (offline pre-processing: parameter selection,
 // col_info, index reordering), then execute it per activation batch.
+// Most callers should not manage plans by hand — `nmspmm::Engine`
+// (core/engine.hpp) caches plans across batch shapes and owns the worker
+// pool; the typical serving loop is:
 //
-//   auto Bc   = nmspmm::compress(B.view(), nmspmm::magnitude_mask(B.view(), cfg));
+//   auto Bc = std::make_shared<const nmspmm::CompressedNM>(
+//       nmspmm::compress(B.view(), nmspmm::magnitude_mask(B.view(), cfg)));
+//   nmspmm::Engine engine;                       // shared pool + plan cache
+//   auto status = engine.spmm(A.view(), Bc, C.view());
+//   if (!status.ok()) { /* recover: status.message() says what's wrong */ }
+//
+// Direct plan management remains available for ablations and benches:
+//
 //   auto plan = nmspmm::SpmmPlan::create(m, std::move(Bc));
-//   plan.execute(A.view(), C.view());
+//   NMSPMM_CHECK_OK(plan.execute(A.view(), C.view()));
+//
+// execute() returns a Status instead of throwing: a batch larger than the
+// planned m, or mismatched operand shapes, come back as recoverable
+// errors a server can reject per-request.
 #pragma once
 
 #include <memory>
@@ -16,6 +30,7 @@
 #include "core/kernel_params.hpp"
 #include "core/nm_format.hpp"
 #include "core/spmm_kernels.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nmspmm {
 
@@ -39,26 +54,45 @@ struct SpmmOptions {
   std::size_t smem_bytes = 192 * 1024;
   /// Apply the Eq. 1 M/N rescale (off for magnitude-pruned inference).
   bool rescale = false;
+  /// Worker threads for execute(): 0 = hardware concurrency (the shared
+  /// global pool), 1 = strictly serial (bit-exact reference ordering —
+  /// though parallel runs are bit-exact too, see spmm_kernels.hpp).
+  /// Plans built by an Engine run on the engine's pool instead.
+  unsigned num_threads = 0;
+
+  friend bool operator==(const SpmmOptions&, const SpmmOptions&) = default;
 };
 
 class SpmmPlan {
  public:
-  /// Build a plan for products with m rows of activations against the
-  /// compressed weights @p B. Performs all offline pre-processing the
-  /// selected variant needs.
+  /// Build a plan for products with up to m rows of activations against
+  /// the compressed weights @p B. Performs all offline pre-processing the
+  /// selected variant needs. Throws CheckError on invalid configuration
+  /// (Engine::plan_for wraps this into a StatusOr).
   static SpmmPlan create(index_t m, CompressedNM B, SpmmOptions options = {});
-  /// Convenience overload sharing an existing compressed matrix.
+  /// Convenience overload sharing an existing compressed matrix. A
+  /// non-null @p pool overrides options.num_threads (the Engine injects
+  /// its shared pool this way).
   static SpmmPlan create(index_t m, std::shared_ptr<const CompressedNM> B,
-                         SpmmOptions options = {});
+                         SpmmOptions options = {},
+                         std::shared_ptr<ThreadPool> pool = nullptr);
 
-  /// C = A (*) (B, D). A must be m' x k with m' <= the planned m
-  /// (the blocking stays valid for smaller batches); C must be m' x n.
-  void execute(ConstViewF A, ViewF C) const;
+  /// C = A (*) (B, D). A must be m' x k with m' <= planned_m() (the
+  /// blocking stays valid for smaller batches); C must be m' x n.
+  /// Returns InvalidArgument on shape mismatches and FailedPrecondition
+  /// when the batch exceeds the planned m — use an Engine to serve
+  /// arbitrary batch sizes.
+  [[nodiscard]] Status execute(ConstViewF A, ViewF C) const;
 
+  [[nodiscard]] index_t planned_m() const { return planned_m_; }
   [[nodiscard]] const BlockingParams& params() const { return params_; }
   [[nodiscard]] KernelVariant variant() const { return options_.variant; }
   [[nodiscard]] bool uses_packing() const { return use_packing_; }
   [[nodiscard]] const CompressedNM& weights() const { return *weights_; }
+  [[nodiscard]] const std::shared_ptr<const CompressedNM>& shared_weights()
+      const {
+    return weights_;
+  }
   /// col_info packing ratio (1.0 when the plan does not pack).
   [[nodiscard]] double packing_ratio() const;
 
@@ -68,13 +102,17 @@ class SpmmPlan {
   std::shared_ptr<const CompressedNM> weights_;
   SpmmOptions options_;
   BlockingParams params_;
+  index_t planned_m_ = 0;
   bool use_packing_ = false;
+  std::shared_ptr<ThreadPool> pool_;  ///< null: strictly serial execute
   std::optional<ColInfo> col_info_;
   std::optional<Matrix<std::int32_t>> resolved_;
 };
 
-/// One-shot convenience wrapper: plan + execute. Prefer SpmmPlan when the
-/// same weights are reused.
+/// One-shot convenience wrapper: plan + execute through the process-global
+/// Engine. Deprecated: use Engine::spmm, which reuses plans across calls
+/// and reports errors as Status instead of throwing.
+[[deprecated("use nmspmm::Engine::spmm")]]
 void nm_spmm(ConstViewF A, const CompressedNM& B, ViewF C,
              SpmmOptions options = {});
 

@@ -207,9 +207,19 @@ void run_segment(index_t wb, APanel a, const float* bpack, index_t ldb,
 /// Shared blocked driver (Listing 1 structure): loop n-blocks, k-chunks,
 /// m-blocks; stage Bs once per (n-block, chunk), prepare A per m-block;
 /// iterate pruning-window column groups inside.
+///
+/// Parallelism: a null @p pool runs the nest serially. With a pool, the
+/// driver picks the partitioning axis — m-blocks when there are enough
+/// of them to occupy every worker (large batches), otherwise whole
+/// n-blocks per worker with worker-private Bs staging (small batches,
+/// wide outputs: the serving shape). Either way each worker writes a
+/// disjoint region of C and computes every element with the same
+/// accumulation order as the serial nest, so output is bit-exact
+/// regardless of thread count.
 template <class Policy>
 void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
-                  const BlockingParams& prm, const Policy& policy) {
+                  const BlockingParams& prm, const Policy& policy,
+                  ThreadPool* pool) {
   const NMConfig& cfg = B.config;
   NMSPMM_CHECK(A.cols() == B.orig_rows);
   NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
@@ -230,11 +240,73 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
   const index_t ldb = static_cast<index_t>(round_up(
       static_cast<std::size_t>(prm.ns), 16));
 
-  parallel_for(0, m, [&](index_t lo, index_t hi) {
+  parallel_for(pool, 0, m, [&](index_t lo, index_t hi) {
     for (index_t r = lo; r < hi; ++r)
       std::fill_n(C.row(r), n, 0.0f);
   });
 
+  auto make_tile = [&](index_t nb, index_t chunk) {
+    TileCtx t;
+    t.chunk = chunk;
+    t.nblock = nb;
+    t.k0 = chunk * prm.ks;
+    t.kb = std::min(prm.ks, pk - t.k0);
+    t.u0 = chunk * ws_full;
+    t.wb = std::min(ws_full, B.rows() - t.u0);
+    return t;
+  };
+
+  // One tile's worth of m-blocks [mb_lo, mb_hi): prepare A per m-block,
+  // then walk the pruning-window column groups of the n-block.
+  auto run_tile = [&](const TileCtx& t, index_t j0, index_t jb,
+                      const float* bpack, index_t mb_lo, index_t mb_hi,
+                      std::vector<float>& a_scratch,
+                      std::uint16_t* idxbuf) {
+    const index_t g0 = j0 / L;
+    const index_t g1 = ceil_div(j0 + jb, L);
+    for (index_t mb_idx = mb_lo; mb_idx < mb_hi; ++mb_idx) {
+      const index_t i0 = mb_idx * prm.ms;
+      const index_t mb = std::min(prm.ms, m - i0);
+      const APanel a = policy.prepare_a(t, A, i0, mb, a_scratch, lda);
+      for (index_t g = g0; g < g1; ++g) {
+        const index_t seg_lo = std::max(g * L, j0);
+        const index_t seg_hi = std::min((g + 1) * L, j0 + jb);
+        policy.prepare_group(t, g, g - g0, idxbuf);
+        auto idx_proto = policy.idx_fn(t, g, idxbuf);
+        run_segment<Policy::kPrefetch>(t.wb, a, bpack, ldb, seg_lo - j0,
+                                       idx_proto, mb, C.row(i0) + j0,
+                                       C.ld(), seg_lo - j0,
+                                       seg_hi - seg_lo);
+      }
+    }
+  };
+
+  const index_t workers = pool != nullptr ? pool->size() : 1;
+  if (workers > 1 && num_mblocks < workers && num_nblocks > 1) {
+    // nc partitioning: each worker owns whole n-blocks and stages its
+    // own Bs panel (worker-private bpack), so no barrier per tile.
+    parallel_for(pool, 0, num_nblocks, [&](index_t nb_lo, index_t nb_hi) {
+      std::vector<float> bpack_storage(
+          static_cast<std::size_t>(ws_full * ldb));
+      std::vector<float> a_scratch(static_cast<std::size_t>(prm.ms * lda));
+      std::vector<std::uint16_t> idxbuf(static_cast<std::size_t>(ws_full));
+      for (index_t nb = nb_lo; nb < nb_hi; ++nb) {
+        const index_t j0 = nb * prm.ns;
+        const index_t jb = std::min(prm.ns, n - j0);
+        for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
+          const TileCtx t = make_tile(nb, chunk);
+          detail::pack_b_block(B.values.view(), t.u0, t.wb, j0, jb,
+                               bpack_storage.data(), ldb);
+          run_tile(t, j0, jb, bpack_storage.data(), 0, num_mblocks,
+                   a_scratch, idxbuf.data());
+        }
+      }
+    });
+    return;
+  }
+
+  // mc partitioning (or serial): Bs staged once per (n-block, chunk) on
+  // the calling thread, m-blocks of the tile split across workers.
   std::vector<float> bpack_storage(
       static_cast<std::size_t>(ws_full * ldb));
   float* bpack = bpack_storage.data();
@@ -242,38 +314,14 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
   for (index_t nb = 0; nb < num_nblocks; ++nb) {
     const index_t j0 = nb * prm.ns;
     const index_t jb = std::min(prm.ns, n - j0);
-    const index_t g0 = j0 / L;
-    const index_t g1 = ceil_div(j0 + jb, L);
     for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
-      TileCtx t;
-      t.chunk = chunk;
-      t.nblock = nb;
-      t.k0 = chunk * prm.ks;
-      t.kb = std::min(prm.ks, pk - t.k0);
-      t.u0 = chunk * ws_full;
-      t.wb = std::min(ws_full, B.rows() - t.u0);
-
+      const TileCtx t = make_tile(nb, chunk);
       detail::pack_b_block(B.values.view(), t.u0, t.wb, j0, jb, bpack, ldb);
-
-      parallel_for(0, num_mblocks, [&](index_t mb_lo, index_t mb_hi) {
+      parallel_for(pool, 0, num_mblocks, [&](index_t mb_lo, index_t mb_hi) {
         std::vector<float> a_scratch(
             static_cast<std::size_t>(prm.ms * lda));
         std::vector<std::uint16_t> idxbuf(static_cast<std::size_t>(t.wb));
-        for (index_t mb_idx = mb_lo; mb_idx < mb_hi; ++mb_idx) {
-          const index_t i0 = mb_idx * prm.ms;
-          const index_t mb = std::min(prm.ms, m - i0);
-          const APanel a = policy.prepare_a(t, A, i0, mb, a_scratch, lda);
-          for (index_t g = g0; g < g1; ++g) {
-            const index_t seg_lo = std::max(g * L, j0);
-            const index_t seg_hi = std::min((g + 1) * L, j0 + jb);
-            policy.prepare_group(t, g, g - g0, idxbuf.data());
-            auto idx_proto = policy.idx_fn(t, g, idxbuf.data());
-            run_segment<Policy::kPrefetch>(t.wb, a, bpack, ldb, seg_lo - j0,
-                                           idx_proto, mb, C.row(i0) + j0,
-                                           C.ld(), seg_lo - j0,
-                                           seg_hi - seg_lo);
-          }
-        }
+        run_tile(t, j0, jb, bpack, mb_lo, mb_hi, a_scratch, idxbuf.data());
       });
     }
   }
@@ -282,37 +330,39 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
 }  // namespace
 
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
-             const BlockingParams& params) {
+             const BlockingParams& params, ThreadPool* pool) {
   PolicyV1 policy{B};
-  spmm_blocked(A, B, C, params, policy);
+  spmm_blocked(A, B, C, params, policy, pool);
 }
 
 void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
-             const BlockingParams& params, const ColInfo& col_info) {
+             const BlockingParams& params, const ColInfo& col_info,
+             ThreadPool* pool) {
   NMSPMM_CHECK_MSG(col_info.ks() == params.ks && col_info.ns() == params.ns,
                    "col_info was built for ks=" << col_info.ks() << " ns="
                        << col_info.ns() << " but kernel uses "
                        << params.to_string());
   PolicyV2 policy{B, col_info};
-  spmm_blocked(A, B, C, params, policy);
+  spmm_blocked(A, B, C, params, policy, pool);
 }
 
 void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, bool use_packing,
              const ColInfo* col_info,
-             const Matrix<std::int32_t>* resolved) {
+             const Matrix<std::int32_t>* resolved,
+             ThreadPool* pool) {
   if (use_packing) {
     NMSPMM_CHECK_MSG(col_info != nullptr,
                      "V3 packed path requires col_info preprocessing");
     NMSPMM_CHECK(col_info->ks() == params.ks && col_info->ns() == params.ns);
     PolicyV3Packed policy{B, *col_info};
-    spmm_blocked(A, B, C, params, policy);
+    spmm_blocked(A, B, C, params, policy, pool);
   } else {
     NMSPMM_CHECK_MSG(resolved != nullptr,
                      "V3 non-packed path requires resolve_indices()");
     NMSPMM_CHECK(resolved->rows() == B.rows());
     PolicyV3NonPacked policy{B, *resolved};
-    spmm_blocked(A, B, C, params, policy);
+    spmm_blocked(A, B, C, params, policy, pool);
   }
 }
 

@@ -14,6 +14,7 @@
 #include "core/col_info.hpp"
 #include "core/kernel_params.hpp"
 #include "core/nm_format.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nmspmm {
 
@@ -21,12 +22,21 @@ enum class KernelVariant { kReference, kV1, kV2, kV3 };
 
 const char* to_string(KernelVariant v);
 
+// Every kernel takes an optional ThreadPool. A null pool runs the exact
+// serial loop nest (the bit-exact reference ordering); a pool partitions
+// the outer block loops — m-blocks when the batch provides enough of
+// them, n-blocks (each worker staging its own Bs panel) for the small-m
+// serving shapes where m-blocks alone cannot feed every worker. Both
+// partitionings preserve the per-element accumulation order, so results
+// are bit-exact across thread counts.
+
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
-             const BlockingParams& params);
+             const BlockingParams& params, ThreadPool* pool = nullptr);
 
 /// @p col_info must have been built with the same (ks, ns) as @p params.
 void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
-             const BlockingParams& params, const ColInfo& col_info);
+             const BlockingParams& params, const ColInfo& col_info,
+             ThreadPool* pool = nullptr);
 
 /// @p use_packing selects the high-sparsity packed pipeline (requires
 /// @p col_info) or the moderate-sparsity non-packed pipeline (requires
@@ -34,7 +44,8 @@ void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
 void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, bool use_packing,
              const ColInfo* col_info,
-             const Matrix<std::int32_t>* resolved);
+             const Matrix<std::int32_t>* resolved,
+             ThreadPool* pool = nullptr);
 
 /// FLOP count of the sparse product (2*m*n*w), the numerator of every
 /// efficiency number in the evaluation.

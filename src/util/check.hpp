@@ -1,13 +1,19 @@
-// Lightweight precondition / invariant checking.
+// Lightweight precondition / invariant checking plus the recoverable
+// error surface of the serving API.
 //
-// NMSPMM_CHECK is always on (it guards API misuse and costs nothing on the
-// hot path because kernels validate once per call, not per element).
-// NMSPMM_DCHECK compiles away in release builds and is used inside kernels.
+// Two tiers:
+//  - NMSPMM_CHECK / NMSPMM_DCHECK throw CheckError. They guard internal
+//    invariants and programmer misuse of the low-level building blocks.
+//  - Status / StatusOr<T> report recoverable errors (bad shapes, oversized
+//    batches, invalid configurations) from the public serving entry points
+//    (Engine::spmm, SpmmPlan::execute) without unwinding through a server.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace nmspmm {
 
@@ -27,6 +33,112 @@ namespace detail {
   throw CheckError(os.str());
 }
 }  // namespace detail
+
+/// Error taxonomy of the recoverable surface. Mirrors the categories the
+/// serving entry points can actually produce.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< caller-supplied shapes / options are wrong
+  kFailedPrecondition,  ///< object state does not admit the call
+  kNotFound,            ///< lookup missed (cache probes, registries)
+  kInternal,            ///< invariant violation escaping a lower layer
+};
+
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+/// Value-semantic success-or-error result. Ok statuses carry no message
+/// and are cheap to copy; error statuses carry a human-readable message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(nmspmm::to_string(code_)) + ": " + message_;
+  }
+  /// Throws CheckError when not ok; the escape hatch for callers (tools,
+  /// examples) that prefer exceptions over status plumbing.
+  void check_ok() const {
+    if (!ok()) throw CheckError(to_string());
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// expected-style carrier: either a value or the Status explaining why
+/// there is none. Accessing value() on an error throws CheckError.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    ensure_error_status();
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    status_.check_ok();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    status_.check_ok();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    status_.check_ok();
+    return *std::move(value_);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  // An OK status with no value would make ok() lie; demote to INTERNAL.
+  void ensure_error_status() {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from an OK status");
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
 
 }  // namespace nmspmm
 
@@ -51,3 +163,14 @@ namespace detail {
 #else
 #define NMSPMM_DCHECK(expr) NMSPMM_CHECK(expr)
 #endif
+
+/// Propagate a non-OK Status to the caller of a Status-returning function.
+#define NMSPMM_RETURN_IF_ERROR(expr)               \
+  do {                                             \
+    ::nmspmm::Status nmspmm_status_ = (expr);      \
+    if (!nmspmm_status_.ok()) return nmspmm_status_; \
+  } while (0)
+
+/// Convert a non-OK Status into a CheckError throw. For callers (examples,
+/// benches, tools) that treat any error as fatal.
+#define NMSPMM_CHECK_OK(expr) ((expr).check_ok())

@@ -36,10 +36,16 @@ void ThreadPool::worker_loop() {
       task = queue_.front();
       queue_.pop();
     }
-    (*task.fn)(task.index);
+    std::exception_ptr error;
+    try {
+      (*task.fn)(task.index);
+    } catch (...) {
+      error = std::current_exception();  // rethrown on the calling thread
+    }
     {
       std::lock_guard lock(mutex_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
+      if (error && !task.sync->error) task.sync->error = error;
+      if (--task.sync->remaining == 0) done_cv_.notify_all();
     }
   }
 }
@@ -51,16 +57,40 @@ void ThreadPool::run_chunks(std::int64_t chunks,
     for (std::int64_t i = 0; i < chunks; ++i) fn(i);
     return;
   }
+  CallSync sync;
+  sync.remaining = chunks - 1;
   {
     std::lock_guard lock(mutex_);
     // Caller keeps chunk 0 for itself; workers get the rest.
-    for (std::int64_t i = 1; i < chunks; ++i) queue_.push(Task{&fn, i});
-    in_flight_ += chunks - 1;
+    for (std::int64_t i = 1; i < chunks; ++i) {
+      queue_.push(Task{&fn, &sync, i});
+    }
   }
   cv_.notify_all();
-  fn(0);
+  std::exception_ptr own_error;
+  try {
+    fn(0);
+  } catch (...) {
+    own_error = std::current_exception();
+  }
+  // Wait for this call's own chunks only: concurrent run_chunks callers
+  // on a shared pool do not gate on each other's work.
   std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  done_cv_.wait(lock, [&sync] { return sync.remaining == 0; });
+  if (sync.error) std::rethrow_exception(sync.error);
+  if (own_error) std::rethrow_exception(own_error);
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::shared(unsigned num_threads) {
+  if (num_threads == 1) return nullptr;  // strictly serial
+  if (num_threads == 0) {
+    // Non-owning alias: the global pool outlives every handle. Explicit
+    // counts get a dedicated pool without instantiating the global one
+    // (probing global().size() would spawn its workers as a side effect).
+    return std::shared_ptr<ThreadPool>(std::shared_ptr<ThreadPool>(),
+                                       &global());
+  }
+  return std::make_shared<ThreadPool>(num_threads);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -74,16 +104,16 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(std::int64_t begin, std::int64_t end,
+void parallel_for(ThreadPool* pool, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t, std::int64_t)>& body,
                   std::int64_t min_grain) {
   const std::int64_t total = end - begin;
   if (total <= 0) return;
-  auto& pool = ThreadPool::global();
   const std::int64_t max_chunks =
       std::max<std::int64_t>(1, total / std::max<std::int64_t>(1, min_grain));
-  const std::int64_t chunks =
-      std::min<std::int64_t>(pool.size(), max_chunks);
+  const std::int64_t chunks = pool == nullptr
+      ? 1
+      : std::min<std::int64_t>(pool->size(), max_chunks);
   if (chunks == 1) {
     body(begin, end);
     return;
@@ -94,7 +124,13 @@ void parallel_for(std::int64_t begin, std::int64_t end,
     const std::int64_t hi = std::min(end, lo + per);
     if (lo < hi) body(lo, hi);
   };
-  pool.run_chunks(chunks, chunk_fn);
+  pool->run_chunks(chunks, chunk_fn);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t min_grain) {
+  parallel_for(&ThreadPool::global(), begin, end, body, min_grain);
 }
 
 }  // namespace nmspmm

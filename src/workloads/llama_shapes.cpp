@@ -43,7 +43,13 @@ std::vector<ProblemShape> llama_dataset() {
     for (const auto& t : tuples) {
       ProblemShape p = t;
       p.m = m;
-      p.label = "m" + std::to_string(m) + "-" + t.label;
+      // Built with += (not chained operator+), which GCC 12's -Wrestrict
+      // falsely flags at -O2 and breaks -Werror builds.
+      std::string label = "m";
+      label += std::to_string(m);
+      label += '-';
+      label += t.label;
+      p.label = std::move(label);
       points.push_back(std::move(p));
     }
   }

@@ -13,6 +13,7 @@
 #include "baselines/sputnik_like.hpp"
 #include "core/nmspmm.hpp"
 #include "gpusim/sim_kernels.hpp"
+#include "tests/testing.hpp"
 #include "workloads/generators.hpp"
 
 namespace nmspmm {
@@ -66,7 +67,7 @@ TEST(Integration, PlanReusableAcrossBatches) {
     const MatrixF A = random_int_matrix(m, k, rng);
     MatrixF expect(m, n), got(m, n);
     spmm_reference(A.view(), B, expect.view());
-    plan.execute(A.view(), got.view());
+    NMSPMM_ASSERT_OK(plan.execute(A.view(), got.view()));
     EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0) << "m=" << m;
   }
 }
@@ -89,8 +90,10 @@ TEST(Integration, PrunedFfnTracksDenseReference) {
 
   // Sparse path.
   MatrixF gate(tokens, ffn), out(tokens, hidden);
-  SpmmPlan::create(tokens, cg).execute(A.view(), gate.view());
-  SpmmPlan::create(tokens, cd).execute(gate.view(), out.view());
+  NMSPMM_ASSERT_OK(
+      SpmmPlan::create(tokens, cg).execute(A.view(), gate.view()));
+  NMSPMM_ASSERT_OK(
+      SpmmPlan::create(tokens, cd).execute(gate.view(), out.view()));
 
   // Pruned-dense path (must agree to float rounding).
   const MatrixF wg_pruned = apply_mask(Wg.view(), mask_g);
@@ -137,7 +140,7 @@ TEST(Integration, LargeValuesDoNotOverflowAccumulation) {
   const CompressedNM B = random_compressed(k, n, cfg, rng);
   MatrixF expect(m, n), got(m, n);
   spmm_reference(A.view(), B, expect.view());
-  SpmmPlan::create(m, B).execute(A.view(), got.view());
+  NMSPMM_ASSERT_OK(SpmmPlan::create(m, B).execute(A.view(), got.view()));
   for (index_t i = 0; i < m; ++i) {
     for (index_t j = 0; j < n; ++j) {
       const float denom = std::max(1.0f, std::abs(expect(i, j)));
@@ -157,7 +160,7 @@ TEST(Integration, ZeroSparsityControlEqualsDenseGemm) {
   const CompressedNM B = compress(Bd.view(), mask);
   MatrixF expect(m, n), got(m, n);
   gemm_reference(A.view(), Bd.view(), expect.view());
-  SpmmPlan::create(m, B).execute(A.view(), got.view());
+  NMSPMM_ASSERT_OK(SpmmPlan::create(m, B).execute(A.view(), got.view()));
   EXPECT_EQ(max_abs_diff(expect.cview(), got.cview()), 0.0);
 }
 

@@ -196,6 +196,43 @@ INSTANTIATE_TEST_SUITE_P(Shapes, KernelSweep,
                                   std::to_string(c.n);
                          });
 
+// Kernel-level pool plumbing: explicit pools of several sizes must give
+// the exact serial result on both partitioning axes (many m-blocks for
+// the mc split, a single m-block with many n-blocks for the nc split).
+TEST(SpmmKernels, ExplicitPoolBitExactOnBothPartitionAxes) {
+  Rng rng(10);
+  const NMConfig cfg{2, 8, 16};
+  struct Shape {
+    index_t m, k, n;
+  };
+  for (const Shape s : {Shape{256, 128, 64},    // mc-partitioned
+                        Shape{16, 128, 512}}) { // nc-partitioned
+    const MatrixF A = random_int_matrix(s.m, s.k, rng);
+    const CompressedNM B = random_compressed_int(s.k, s.n, cfg, rng);
+    const BlockingParams p = small_params(cfg, s.k);
+    const ColInfo info = build_col_info(B, p.ks, p.ns);
+    const auto resolved = resolve_indices(B);
+
+    MatrixF serial(s.m, s.n);
+    spmm_v3(A.view(), B, serial.view(), p, false, nullptr, &resolved,
+            nullptr);
+    for (const unsigned workers : {2u, 5u}) {
+      ThreadPool pool(workers);
+      MatrixF C(s.m, s.n);
+      spmm_v1(A.view(), B, C.view(), p, &pool);
+      const MatrixF expect = run_reference(A.view(), B);
+      EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0)
+          << "V1 pool=" << workers;
+      spmm_v2(A.view(), B, C.view(), p, info, &pool);
+      EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0)
+          << "V2 pool=" << workers;
+      spmm_v3(A.view(), B, C.view(), p, false, nullptr, &resolved, &pool);
+      EXPECT_EQ(max_abs_diff(serial.cview(), C.cview()), 0.0)
+          << "V3 pool=" << workers;
+    }
+  }
+}
+
 // Rescale semantics (Eq. 1's M/N factor) must match the reference.
 TEST(SpmmKernels, ReferenceRescaleScalesByMOverN) {
   Rng rng(9);

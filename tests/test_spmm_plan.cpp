@@ -1,9 +1,10 @@
 // Public SpmmPlan API: auto-dispatch (variant, packing threshold, Table I
 // preset selection), correctness through the plan, rescale option, and
-// precondition failures.
+// precondition failures (reported as Status, not thrown).
 #include <gtest/gtest.h>
 
 #include "core/nmspmm.hpp"
+#include "tests/testing.hpp"
 #include "workloads/generators.hpp"
 
 namespace nmspmm {
@@ -23,7 +24,7 @@ TEST(SpmmPlan, DefaultPlanMatchesReference) {
   const MatrixF expect = reference_for(A.view(), B);
   auto plan = SpmmPlan::create(m, B);
   MatrixF C(m, n);
-  plan.execute(A.view(), C.view());
+  NMSPMM_ASSERT_OK(plan.execute(A.view(), C.view()));
   EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
 }
 
@@ -75,7 +76,8 @@ TEST(SpmmPlan, EveryVariantMatchesReference) {
       SpmmOptions opt;
       opt.variant = v;
       MatrixF C(m, n);
-      SpmmPlan::create(m, shared, opt).execute(A.view(), C.view());
+      NMSPMM_ASSERT_OK(
+          SpmmPlan::create(m, shared, opt).execute(A.view(), C.view()));
       EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0)
           << to_string(v) << " at " << cfg.to_string();
     }
@@ -90,8 +92,24 @@ TEST(SpmmPlan, SmallerBatchThanPlanned) {
   const MatrixF A = random_int_matrix(33, k, rng);
   const MatrixF expect = reference_for(A.view(), B);
   MatrixF C(33, n);
-  plan.execute(A.view(), C.view());
+  NMSPMM_ASSERT_OK(plan.execute(A.view(), C.view()));
   EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
+}
+
+TEST(SpmmPlan, LargerBatchThanPlannedIsFailedPrecondition) {
+  // The seed silently accepted oversized batches (undefined behavior for
+  // blocking parameters chosen for a smaller m); now it is a clear error.
+  Rng rng(45);
+  const index_t k = 64, n = 64;
+  const CompressedNM B = random_compressed_int(k, n, NMConfig{2, 4, 16}, rng);
+  auto plan = SpmmPlan::create(32, B);
+  EXPECT_EQ(plan.planned_m(), 32);
+  const MatrixF A = random_int_matrix(64, k, rng);
+  MatrixF C(64, n);
+  const Status s = plan.execute(A.view(), C.view());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("planned m"), std::string::npos);
 }
 
 TEST(SpmmPlan, RescaleAppliesMOverN) {
@@ -102,10 +120,12 @@ TEST(SpmmPlan, RescaleAppliesMOverN) {
   const CompressedNM B = random_compressed_int(k, n, cfg, rng);
   auto shared = std::make_shared<const CompressedNM>(B);
   MatrixF plain(m, n), scaled(m, n);
-  SpmmPlan::create(m, shared).execute(A.view(), plain.view());
+  NMSPMM_ASSERT_OK(
+      SpmmPlan::create(m, shared).execute(A.view(), plain.view()));
   SpmmOptions opt;
   opt.rescale = true;
-  SpmmPlan::create(m, shared, opt).execute(A.view(), scaled.view());
+  NMSPMM_ASSERT_OK(
+      SpmmPlan::create(m, shared, opt).execute(A.view(), scaled.view()));
   for (index_t i = 0; i < m; ++i)
     for (index_t j = 0; j < n; ++j)
       EXPECT_FLOAT_EQ(scaled(i, j), 2.0f * plain(i, j));
@@ -143,10 +163,12 @@ TEST(SpmmPlan, RejectsBadInputs) {
   auto plan = SpmmPlan::create(32, B);
   const MatrixF wrong_depth = random_int_matrix(32, 48, rng);
   MatrixF C(32, 64);
-  EXPECT_THROW(plan.execute(wrong_depth.view(), C.view()), CheckError);
+  const Status depth = plan.execute(wrong_depth.view(), C.view());
+  EXPECT_EQ(depth.code(), StatusCode::kInvalidArgument);
   const MatrixF A = random_int_matrix(32, 64, rng);
   MatrixF wrong_out(32, 48);
-  EXPECT_THROW(plan.execute(A.view(), wrong_out.view()), CheckError);
+  const Status out = plan.execute(A.view(), wrong_out.view());
+  EXPECT_EQ(out.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SpmmPlan, ExplicitParamsHonored) {
@@ -162,14 +184,17 @@ TEST(SpmmPlan, ExplicitParamsHonored) {
   EXPECT_GT(plan.params().ks, 0);
 }
 
-TEST(NmSpmmOneShot, MatchesReference) {
+TEST(NmSpmmOneShot, DeprecatedShimMatchesReference) {
   Rng rng(51);
   const index_t m = 40, k = 64, n = 48;
   const MatrixF A = random_int_matrix(m, k, rng);
   const CompressedNM B = random_compressed_int(k, n, NMConfig{1, 4, 8}, rng);
   const MatrixF expect = reference_for(A.view(), B);
   MatrixF C(m, n);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   nm_spmm(A.view(), B, C.view());
+#pragma GCC diagnostic pop
   EXPECT_EQ(max_abs_diff(expect.cview(), C.cview()), 0.0);
 }
 

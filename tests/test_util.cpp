@@ -182,6 +182,64 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, ChunkExceptionReachesCallerAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_chunks(16,
+                      [](std::int64_t i) {
+                        if (i == 7) throw CheckError("chunk 7 failed");
+                      }),
+      CheckError);
+  // The failure drained cleanly: the pool still runs work.
+  std::atomic<int> counter{0};
+  pool.run_chunks(16, [&](std::int64_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, ConcurrentCallersEachSeeTheirOwnCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 50; ++round) {
+        std::atomic<int> mine{0};
+        pool.run_chunks(8, [&](std::int64_t) {
+          ++mine;
+          ++total;
+        });
+        // run_chunks returning means *this call's* chunks all ran.
+        if (mine.load() != 8) return;  // reported via total below
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4 * 50 * 8);
+}
+
+TEST(ParallelFor, ExplicitPoolCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(&pool, 0, 100, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsInlineAsOneRange) {
+  int calls = 0;
+  index_t seen_lo = -1, seen_hi = -1;
+  parallel_for(nullptr, 3, 40, [&](index_t lo, index_t hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_lo, 3);
+  EXPECT_EQ(seen_hi, 40);
+}
+
 TEST(Cli, ParsesTypedFlags) {
   CliParser cli("prog", "test");
   cli.add_flag("fast", false, "speed");

@@ -1,0 +1,18 @@
+// Shared gtest helpers for the Status-returning API surface.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#define NMSPMM_ASSERT_OK(expr)                         \
+  do {                                                 \
+    const ::nmspmm::Status nmspmm_s_ = (expr);         \
+    ASSERT_TRUE(nmspmm_s_.ok()) << nmspmm_s_.to_string(); \
+  } while (0)
+
+#define NMSPMM_EXPECT_OK(expr)                         \
+  do {                                                 \
+    const ::nmspmm::Status nmspmm_s_ = (expr);         \
+    EXPECT_TRUE(nmspmm_s_.ok()) << nmspmm_s_.to_string(); \
+  } while (0)
