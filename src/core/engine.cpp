@@ -1,28 +1,41 @@
 #include "core/engine.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <sstream>
 #include <utility>
+
+#include "util/hash.hpp"
 
 namespace nmspmm {
 
 namespace {
 
-inline void hash_combine(std::size_t& seed, std::size_t v) {
-  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
-}
-
-std::size_t hash_options(const SpmmOptions& o) {
-  std::size_t h = 0;
-  hash_combine(h, static_cast<std::size_t>(o.variant));
-  hash_combine(h, static_cast<std::size_t>(o.packing));
-  hash_combine(h, o.smem_bytes);
-  hash_combine(h, o.rescale ? 1u : 0u);
-  hash_combine(h, o.num_threads);
-  if (o.params) {
-    const BlockingParams& p = *o.params;
-    for (index_t f : {p.ms, p.ns, p.ks, p.mt, p.nt, p.mr, p.nr}) {
-      hash_combine(h, static_cast<std::size_t>(f));
-    }
+/// Cheap content fingerprint of caller-owned weights: FNV over the shape
+/// plus strided samples of the values and index matrices. Guards the
+/// wrapped-copy cache against the two ways the (address, buffer, shape,
+/// config) identity can lie — an allocator handing a recycled buffer to
+/// a different same-shape matrix (near-certain detection: independent
+/// contents differ in the samples), and in-place mutation of the values
+/// between calls (best-effort: only edits touching a sampled position
+/// are caught — mutating weights the engine has wrapped is outside the
+/// overload's contract). O(1) work (128 samples) per call.
+std::uint64_t weights_fingerprint(const CompressedNM& B) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  constexpr index_t kSamples = 64;
+  const index_t nv = B.rows() * B.cols;
+  for (index_t s = 0; s < std::min(kSamples, nv); ++s) {
+    const index_t pos = nv <= kSamples ? s : s * (nv - 1) / (kSamples - 1);
+    mix(std::bit_cast<std::uint32_t>(B.values(pos / B.cols, pos % B.cols)));
+  }
+  const index_t nd = B.rows() * B.num_groups();
+  for (index_t s = 0; s < std::min(kSamples, nd); ++s) {
+    const index_t pos = nd <= kSamples ? s : s * (nd - 1) / (kSamples - 1);
+    mix(B.indices(pos / B.num_groups(), pos % B.num_groups()));
   }
   return h;
 }
@@ -32,7 +45,7 @@ std::size_t hash_options(const SpmmOptions& o) {
 std::size_t Engine::KeyHash::operator()(const Key& k) const noexcept {
   std::size_t h = std::hash<const void*>{}(k.weights);
   hash_combine(h, static_cast<std::size_t>(k.bucket_m));
-  hash_combine(h, hash_options(k.options));
+  hash_combine(h, hash_value(k.options));
   return h;
 }
 
@@ -45,7 +58,13 @@ Engine::Engine(EngineOptions options) : options_(options) {
 }
 
 index_t Engine::bucket_batch(index_t m, index_t min_bucket) {
+  if (min_bucket < 1) min_bucket = 1;
   if (m <= min_bucket) return min_bucket;
+  // 2^62 is the largest power of two an int64 index_t can hold. Doubling
+  // past it would signed-overflow (UB that manifested as an infinite
+  // loop); batches beyond it get an exact, unbucketed plan instead.
+  constexpr index_t kMaxBucket = index_t{1} << 62;
+  if (m > kMaxBucket) return m;
   index_t bucket = min_bucket;
   while (bucket < m) bucket *= 2;
   return bucket;
@@ -64,7 +83,7 @@ StatusOr<std::shared_ptr<const SpmmPlan>> Engine::plan_for(
   // The engine's pool (or its serial mode) decides the threading, not
   // the per-call option — normalize it so it can't fragment the cache,
   // and so a serial engine's null pool_ stays serial inside the plan.
-  options.num_threads = options_.num_threads == 1 ? 1 : 0;
+  options.num_threads = normalized_num_threads();
   Key key{B.get(), bucket_batch(m, options_.min_batch_bucket), options};
 
   {
@@ -113,17 +132,53 @@ Status Engine::spmm(ConstViewF A, std::shared_ptr<const CompressedNM> B,
   return (*plan)->execute(A, C);
 }
 
+std::shared_ptr<const CompressedNM> Engine::wrap_weights(
+    const CompressedNM& B) {
+  const std::uint64_t fp = weights_fingerprint(B);
+  auto matches = [&](const WrappedWeights& w) {
+    return w.values_data == B.values.data() && w.orig_rows == B.orig_rows &&
+           w.cols == B.cols && w.config == B.config && w.fingerprint == fp;
+  };
+  {
+    std::lock_guard lock(mutex_);
+    if (auto it = wrapped_.find(&B); it != wrapped_.end()) {
+      if (matches(it->second)) return it->second.copy;
+      // Address reuse or in-place mutation: a different matrix now lives
+      // at &B. Drop the stale wrapper; its plans age out of the LRU
+      // cache on their own.
+      wrapped_.erase(it);
+    }
+  }
+  // Deep-copy outside the lock — this is the expensive O(weights) step
+  // the wrapper cache exists to amortize.
+  auto copy = std::make_shared<const CompressedNM>(B);
+
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = wrapped_.try_emplace(&B);
+  if (!inserted && matches(it->second)) {
+    return it->second.copy;  // racing caller copied first; use theirs
+  }
+  it->second = WrappedWeights{B.values.data(), B.orig_rows, B.cols, B.config,
+                              fp, std::move(copy)};
+  // Bound the wrapper map like the plan cache; evicting an arbitrary
+  // other entry only costs a re-copy if that matrix comes back.
+  while (wrapped_.size() > options_.plan_cache_capacity) {
+    auto victim = wrapped_.begin();
+    if (victim->first == &B) ++victim;
+    wrapped_.erase(victim);
+  }
+  return it->second.copy;
+}
+
 Status Engine::spmm(ConstViewF A, const CompressedNM& B, ViewF C,
                     SpmmOptions options) {
   if (A.rows() < 1) {
     return Status::InvalidArgument("activation batch is empty");
   }
-  options.num_threads = options_.num_threads == 1 ? 1 : 0;
+  // The deep copy inside wrap_weights can fail (bad_alloc on huge
+  // weights); keep the no-throw Status contract of the serving surface.
   try {
-    const SpmmPlan plan =
-        SpmmPlan::create(A.rows(), std::make_shared<const CompressedNM>(B),
-                         options, pool_);
-    return plan.execute(A, C);
+    return spmm(A, wrap_weights(B), C, std::move(options));
   } catch (const CheckError& e) {
     return Status::InvalidArgument(e.what());
   } catch (const std::exception& e) {
@@ -142,6 +197,7 @@ void Engine::clear_cache() {
   std::lock_guard lock(mutex_);
   index_.clear();
   lru_.clear();
+  wrapped_.clear();
 }
 
 Engine& Engine::global() {

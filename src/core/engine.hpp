@@ -58,9 +58,16 @@ class Engine {
   Status spmm(ConstViewF A, std::shared_ptr<const CompressedNM> B, ViewF C,
               SpmmOptions options = {});
 
-  /// One-shot convenience overload: copies @p B and plans for exactly
-  /// this batch, bypassing the cache (a raw reference has no stable
-  /// identity to key on). Prefer the shared_ptr overload for serving.
+  /// Convenience overload for caller-owned weights. The engine deep-copies
+  /// @p B once, remembers the copy keyed by the caller's matrix identity
+  /// (address + buffer + shape + config + a sampled content fingerprint),
+  /// and routes every subsequent call through the plan cache — the
+  /// deprecated nm_spmm() shim is O(weights) on first contact with a
+  /// matrix, not per request. A *different* matrix reusing the address is
+  /// detected; mutating the same matrix in place between calls is caught
+  /// only when a sampled position changes, so treat wrapped weights as
+  /// immutable. Prefer the shared_ptr overload for serving: it never
+  /// copies at all.
   Status spmm(ConstViewF A, const CompressedNM& B, ViewF C,
               SpmmOptions options = {});
 
@@ -89,8 +96,19 @@ class Engine {
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
+  /// The per-call thread-count value this engine actually plans with
+  /// (the engine's pool or serial mode decides threading, not the
+  /// caller's option): 1 when strictly serial, else 0. Callers building
+  /// keys that must match the plan cache — the serving layer's batch
+  /// groups — normalize through this so the rules cannot diverge.
+  [[nodiscard]] unsigned normalized_num_threads() const {
+    return options_.num_threads == 1 ? 1u : 0u;
+  }
+
   /// Round a batch size up to its plan bucket: min_bucket for small
-  /// batches, the next power of two beyond that.
+  /// batches, the next power of two beyond that. Batches beyond the
+  /// largest representable power of two (2^62 for int64 index_t) get an
+  /// exact bucket of m itself instead of overflowing.
   static index_t bucket_batch(index_t m, index_t min_bucket);
 
   /// Process-global engine backing the deprecated nm_spmm() shim.
@@ -111,6 +129,22 @@ class Engine {
     Key key;
     std::shared_ptr<const SpmmPlan> plan;
   };
+  /// One remembered deep copy of caller-owned weights (the raw-reference
+  /// spmm overload). The identity fields plus a sampled content
+  /// fingerprint detect address reuse and in-place mutation, so a stale
+  /// wrapper cannot be served for a matrix that changed.
+  struct WrappedWeights {
+    const void* values_data = nullptr;
+    index_t orig_rows = 0;
+    index_t cols = 0;
+    NMConfig config;
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const CompressedNM> copy;
+  };
+
+  /// Deep-copy @p B on first contact (or identity change) and reuse the
+  /// cached copy after, giving the raw reference a stable cache key.
+  std::shared_ptr<const CompressedNM> wrap_weights(const CompressedNM& B);
 
   EngineOptions options_;
   std::shared_ptr<ThreadPool> pool_;  ///< null when running serially
@@ -118,6 +152,7 @@ class Engine {
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_map<const CompressedNM*, WrappedWeights> wrapped_;
   CacheStats stats_;
 };
 

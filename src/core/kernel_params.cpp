@@ -52,7 +52,12 @@ index_t derive_ks(const NMConfig& cfg, index_t ms, index_t ns,
       8.0 * (static_cast<double>(ms) +
              static_cast<double>(cfg.n) * static_cast<double>(ns) /
                  static_cast<double>(cfg.m));
-  index_t ks = static_cast<index_t>(static_cast<double>(smem_bytes) / denom);
+  const double raw = static_cast<double>(smem_bytes) / denom;
+  // Clamp before the index_t conversion: a huge budget would overflow the
+  // cast, and anything past kMaxKs would wrap the uint16 index staging.
+  index_t ks = raw >= static_cast<double>(kMaxKs)
+                   ? kMaxKs
+                   : static_cast<index_t>(raw);
   ks = (ks / cfg.m) * cfg.m;              // whole pruning windows only
   ks = std::min(ks, cfg.padded_k(k));     // never exceed the (padded) depth
   ks = std::max<index_t>(ks, cfg.m);      // at least one window
@@ -90,6 +95,10 @@ void validate_params(const BlockingParams& p, const NMConfig& cfg,
                        << registers_per_thread(p) << " > 255");
   NMSPMM_CHECK_MSG(p.ks > 0 && p.ks % cfg.m == 0,
                    "ks must be a positive multiple of M: ks=" << p.ks);
+  NMSPMM_CHECK_MSG(p.ks <= kMaxKs,
+                   "ks=" << p.ks << " exceeds " << kMaxKs
+                         << ": within-chunk column offsets are staged in "
+                            "uint16 buffers and would silently wrap");
   NMSPMM_CHECK_MSG(p.ks <= cfg.padded_k(k),
                    "ks exceeds the padded problem depth: ks=" << p.ks
                        << " k=" << k);

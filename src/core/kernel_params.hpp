@@ -46,10 +46,17 @@ BlockingParams table1_preset(SizeClass size_class);
 /// Para_Init_Table: Table II labels A-B small, C-D medium, E-F large.
 SizeClass classify_size(index_t m, index_t n, index_t k);
 
+/// Hard ceiling on ks: the kernels stage within-chunk column offsets in
+/// std::uint16_t buffers (PolicyV3's idxbuf, col_info's remapped matrix),
+/// so offsets must stay in [0, 65536). A larger ks would silently wrap
+/// the staged indices; validate_params rejects it and derive_ks never
+/// produces it.
+inline constexpr index_t kMaxKs = 65536;
+
 /// Largest ks satisfying the shared-memory constraint of Eq. 4/5:
 ///   8*ks*(ms + N*ns/M) <= smem_bytes,
 /// rounded down to a multiple of M (so every chunk holds whole pruning
-/// windows) and clamped to [M, k]. Listing 1 line 4.
+/// windows) and clamped to [M, min(k, kMaxKs)]. Listing 1 line 4.
 index_t derive_ks(const NMConfig& cfg, index_t ms, index_t ns,
                   std::size_t smem_bytes, index_t k);
 

@@ -3,8 +3,25 @@
 #include <sstream>
 
 #include "core/spmm_ref.hpp"
+#include "util/hash.hpp"
 
 namespace nmspmm {
+
+std::size_t hash_value(const SpmmOptions& o) {
+  std::size_t h = 0;
+  hash_combine(h, static_cast<std::size_t>(o.variant));
+  hash_combine(h, static_cast<std::size_t>(o.packing));
+  hash_combine(h, o.smem_bytes);
+  hash_combine(h, o.rescale ? 1u : 0u);
+  hash_combine(h, o.num_threads);
+  if (o.params) {
+    const BlockingParams& p = *o.params;
+    for (index_t f : {p.ms, p.ns, p.ks, p.mt, p.nt, p.mr, p.nr}) {
+      hash_combine(h, static_cast<std::size_t>(f));
+    }
+  }
+  return h;
+}
 
 SpmmPlan SpmmPlan::create(index_t m, CompressedNM B, SpmmOptions options) {
   return create(m, std::make_shared<const CompressedNM>(std::move(B)),

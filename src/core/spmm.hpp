@@ -63,6 +63,10 @@ struct SpmmOptions {
   friend bool operator==(const SpmmOptions&, const SpmmOptions&) = default;
 };
 
+/// Hash consistent with SpmmOptions equality; the Engine's plan-cache key
+/// and the serving layer's batch key both fold it into their own hashes.
+std::size_t hash_value(const SpmmOptions& options);
+
 class SpmmPlan {
  public:
   /// Build a plan for products with up to m rows of activations against

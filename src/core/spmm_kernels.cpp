@@ -306,10 +306,22 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
   }
 
   // mc partitioning (or serial): Bs staged once per (n-block, chunk) on
-  // the calling thread, m-blocks of the tile split across workers.
+  // the calling thread, m-blocks of the tile split across workers. Worker
+  // scratch (A staging + index buffer) is allocated once per call and
+  // keyed by the parallel_for slot, so the inner tile loop never touches
+  // the heap — the same per-worker storage the nc path uses.
   std::vector<float> bpack_storage(
       static_cast<std::size_t>(ws_full * ldb));
   float* bpack = bpack_storage.data();
+  struct WorkerScratch {
+    std::vector<float> a;
+    std::vector<std::uint16_t> idx;
+  };
+  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(workers));
+  for (WorkerScratch& s : scratch) {
+    s.a.resize(static_cast<std::size_t>(prm.ms * lda));
+    s.idx.resize(static_cast<std::size_t>(ws_full));
+  }
 
   for (index_t nb = 0; nb < num_nblocks; ++nb) {
     const index_t j0 = nb * prm.ns;
@@ -317,11 +329,10 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
     for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
       const TileCtx t = make_tile(nb, chunk);
       detail::pack_b_block(B.values.view(), t.u0, t.wb, j0, jb, bpack, ldb);
-      parallel_for(pool, 0, num_mblocks, [&](index_t mb_lo, index_t mb_hi) {
-        std::vector<float> a_scratch(
-            static_cast<std::size_t>(prm.ms * lda));
-        std::vector<std::uint16_t> idxbuf(static_cast<std::size_t>(t.wb));
-        run_tile(t, j0, jb, bpack, mb_lo, mb_hi, a_scratch, idxbuf.data());
+      parallel_for_slots(pool, 0, num_mblocks,
+                         [&](index_t slot, index_t mb_lo, index_t mb_hi) {
+        WorkerScratch& s = scratch[static_cast<std::size_t>(slot)];
+        run_tile(t, j0, jb, bpack, mb_lo, mb_hi, s.a, s.idx.data());
       });
     }
   }

@@ -1,0 +1,100 @@
+// Building blocks of the dynamic micro-batching front end (serve/server.hpp).
+//
+// A BatchRequest is one caller's pending SpMM: non-owning views into the
+// caller's activation rows and output block plus the promise that reports
+// its Status. A BatchQueue is the FIFO of pending requests against one
+// (weights, options) group and implements the batching policy decisions:
+// when must the front of the queue flush (row budget reached, or the
+// oldest request has waited past the deadline), and which whole requests
+// fit into the next batch. The queue itself is not thread-safe — the
+// Server serializes access under its own mutex and a single dispatcher
+// thread consumes batches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace nmspmm {
+
+/// One pending request. The views alias caller-owned memory; the caller
+/// must keep A and C alive until the returned future resolves.
+struct BatchRequest {
+  ConstViewF a;
+  ViewF c;
+  std::promise<Status> done;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+/// Why a batch left its queue.
+enum class FlushReason {
+  kFull,      ///< pending rows reached the batch row budget
+  kDeadline,  ///< the oldest request aged past max_wait
+  kShutdown,  ///< server drain: everything pending flushes
+};
+
+class BatchQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t depth() const { return pending_.size(); }
+  [[nodiscard]] index_t pending_rows() const { return pending_rows_; }
+  [[nodiscard]] std::size_t max_depth_seen() const { return max_depth_; }
+
+  void push(BatchRequest request) {
+    pending_rows_ += request.a.rows();
+    pending_.push_back(std::move(request));
+    max_depth_ = std::max(max_depth_, pending_.size());
+  }
+
+  /// Arrival time of the oldest pending request (non-empty queues only);
+  /// the dispatcher serves ready queues oldest-first so sustained load on
+  /// one group cannot starve another past its deadline.
+  [[nodiscard]] Clock::time_point oldest() const {
+    return pending_.front().enqueued;
+  }
+
+  /// Earliest instant at which the queue must flush even when not full.
+  /// Only meaningful when non-empty.
+  [[nodiscard]] Clock::time_point deadline(
+      std::chrono::microseconds max_wait) const {
+    return oldest() + max_wait;
+  }
+
+  /// Must the front of the queue flush now? True when the row budget is
+  /// met or the oldest request has waited out max_wait.
+  [[nodiscard]] bool ready(Clock::time_point now, index_t max_rows,
+                           std::chrono::microseconds max_wait) const {
+    if (pending_.empty()) return false;
+    return pending_rows_ >= max_rows || now >= deadline(max_wait);
+  }
+
+  /// Pop whole requests from the front until the next one would exceed
+  /// @p max_rows. Always takes at least one request, so a single request
+  /// larger than the budget becomes its own batch rather than starving.
+  [[nodiscard]] std::vector<BatchRequest> take_batch(index_t max_rows) {
+    std::vector<BatchRequest> batch;
+    index_t rows = 0;
+    while (!pending_.empty() &&
+           (batch.empty() || rows + pending_.front().a.rows() <= max_rows)) {
+      rows += pending_.front().a.rows();
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    pending_rows_ -= rows;
+    return batch;
+  }
+
+ private:
+  std::deque<BatchRequest> pending_;
+  index_t pending_rows_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace nmspmm

@@ -1,0 +1,259 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace nmspmm {
+
+namespace {
+
+void accumulate(Server::GroupStats& into, const Server::GroupStats& from) {
+  into.requests += from.requests;
+  into.rows += from.rows;
+  into.batches += from.batches;
+  into.full_flushes += from.full_flushes;
+  into.timeout_flushes += from.timeout_flushes;
+  into.errors += from.errors;
+  into.max_queue_depth = std::max(into.max_queue_depth, from.max_queue_depth);
+}
+
+}  // namespace
+
+std::size_t Server::GroupKeyHash::operator()(
+    const GroupKey& k) const noexcept {
+  std::size_t h = std::hash<const void*>{}(k.weights);
+  hash_combine(h, hash_value(k.options));
+  return h;
+}
+
+Server::Server(ServerOptions options)
+    : options_(options), engine_(options.engine) {
+  if (options_.max_batch_rows < 1) options_.max_batch_rows = 1;
+  if (options_.max_groups < 1) options_.max_groups = 1;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<Status> Server::submit(ConstViewF A,
+                                   std::shared_ptr<const CompressedNM> B,
+                                   ViewF C, SpmmOptions options) {
+  std::promise<Status> done;
+  std::future<Status> result = done.get_future();
+  // Per-request validation: a malformed submission resolves immediately
+  // and can never poison the batch it would have joined.
+  if (B == nullptr) {
+    done.set_value(Status::InvalidArgument("weights shared_ptr is null"));
+    return result;
+  }
+  if (A.rows() < 1) {
+    done.set_value(Status::InvalidArgument("activation batch is empty"));
+    return result;
+  }
+  if (A.cols() != B->orig_rows) {
+    std::ostringstream os;
+    os << "A depth " << A.cols() << " != weights k " << B->orig_rows;
+    done.set_value(Status::InvalidArgument(os.str()));
+    return result;
+  }
+  if (C.rows() != A.rows() || C.cols() != B->cols) {
+    std::ostringstream os;
+    os << "C is " << C.rows() << "x" << C.cols() << " but must be "
+       << A.rows() << "x" << B->cols;
+    done.set_value(Status::InvalidArgument(os.str()));
+    return result;
+  }
+  // Requests batch only when one plan serves them all: normalize the
+  // thread count exactly as the engine does for its cache key.
+  options.num_threads = engine_.normalized_num_threads();
+  const GroupKey key{B.get(), options};
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      done.set_value(Status::FailedPrecondition("server is shut down"));
+      return result;
+    }
+    std::unique_ptr<Group>& group = groups_[key];
+    if (group == nullptr) {
+      group = std::make_unique<Group>();
+      group->weights = std::move(B);
+    }
+    group->stats.requests += 1;
+    group->stats.rows += static_cast<std::uint64_t>(A.rows());
+    group->queue.push(
+        BatchRequest{A, C, std::move(done), BatchQueue::Clock::now()});
+    group->stats.max_queue_depth = group->queue.max_depth_seen();
+  }
+  work_cv_.notify_all();
+  return result;
+}
+
+Server::PendingBatch Server::next_batch_locked(
+    BatchQueue::Clock::time_point now) {
+  PendingBatch batch;
+  const std::chrono::microseconds wait(options_.max_wait_us);
+  // Among ready groups, serve the one whose front request is oldest —
+  // sustained row-budget traffic on one group must not starve another
+  // group's deadline-expired requests.
+  const GroupKey* pick_key = nullptr;
+  Group* pick = nullptr;
+  for (auto& [key, group] : groups_) {
+    BatchQueue& queue = group->queue;
+    if (queue.empty()) continue;
+    if (!stop_ && !queue.ready(now, options_.max_batch_rows, wait)) continue;
+    if (pick == nullptr || queue.oldest() < pick->queue.oldest()) {
+      pick_key = &key;
+      pick = group.get();
+    }
+  }
+  if (pick == nullptr) return batch;
+
+  const bool full = pick->queue.pending_rows() >= options_.max_batch_rows;
+  batch.group = pick;
+  batch.weights = pick->weights;
+  batch.options = pick_key->options;
+  batch.requests = pick->queue.take_batch(options_.max_batch_rows);
+  for (const BatchRequest& r : batch.requests) batch.rows += r.a.rows();
+  ++pick->stats.batches;
+  if (full) {
+    ++pick->stats.full_flushes;
+  } else {
+    ++pick->stats.timeout_flushes;
+  }
+  return batch;
+}
+
+void Server::prune_idle_groups_locked(
+    std::unordered_map<const CompressedNM*, Staging>& staging) {
+  if (groups_.size() <= options_.max_groups) return;
+  for (auto it = groups_.begin();
+       it != groups_.end() && groups_.size() > options_.max_groups;) {
+    if (it->second->queue.empty()) {
+      accumulate(retired_, it->second->stats);
+      ++retired_groups_;
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Staging buffers are keyed per weights; release those no live group
+  // references any more.
+  std::unordered_set<const CompressedNM*> alive;
+  for (const auto& [key, group] : groups_) alive.insert(key.weights);
+  for (auto it = staging.begin(); it != staging.end();) {
+    it = alive.count(it->first) != 0 ? std::next(it) : staging.erase(it);
+  }
+}
+
+Status Server::serve_batch(
+    PendingBatch& batch,
+    std::unordered_map<const CompressedNM*, Staging>& staging) {
+  // A lone request needs no gather/scatter: hand its views straight to
+  // the engine (same plan-cache path, zero copies).
+  if (batch.requests.size() == 1) {
+    BatchRequest& r = batch.requests.front();
+    const Status status =
+        engine_.spmm(r.a, batch.weights, r.c, batch.options);
+    r.done.set_value(status);
+    return status;
+  }
+
+  const index_t k = batch.weights->orig_rows;
+  const index_t n = batch.weights->cols;
+  Staging& st = staging[batch.weights.get()];
+  const index_t capacity = std::max(batch.rows, options_.max_batch_rows);
+  if (st.a.rows() < batch.rows || st.a.cols() != k) st.a = MatrixF(capacity, k);
+  if (st.c.rows() < batch.rows || st.c.cols() != n) st.c = MatrixF(capacity, n);
+
+  index_t row = 0;
+  for (const BatchRequest& r : batch.requests) {
+    for (index_t i = 0; i < r.a.rows(); ++i) {
+      std::copy_n(r.a.row(i), k, st.a.row(row++));
+    }
+  }
+  const ViewF c_view = st.c.view().block(0, 0, batch.rows, n);
+  const Status status = engine_.spmm(st.a.view().block(0, 0, batch.rows, k),
+                                     batch.weights, c_view, batch.options);
+  if (status.ok()) {
+    row = 0;
+    for (const BatchRequest& r : batch.requests) {
+      for (index_t i = 0; i < r.c.rows(); ++i) {
+        std::copy_n(c_view.row(row++), n, r.c.row(i));
+      }
+    }
+  }
+  for (BatchRequest& r : batch.requests) r.done.set_value(status);
+  return status;
+}
+
+void Server::dispatcher_loop() {
+  // Staging buffers live on the dispatcher's stack: only this thread
+  // gathers/scatters, so they need no locking and are reused batch after
+  // batch (no per-batch allocation once warm).
+  std::unordered_map<const CompressedNM*, Staging> staging;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    PendingBatch batch = next_batch_locked(BatchQueue::Clock::now());
+    if (batch.group != nullptr) {
+      lock.unlock();
+      const Status status = serve_batch(batch, staging);
+      lock.lock();
+      if (!status.ok()) {
+        batch.group->stats.errors +=
+            static_cast<std::uint64_t>(batch.requests.size());
+      }
+      prune_idle_groups_locked(staging);  // keep retained state bounded
+      continue;  // more groups may be ready; drain before sleeping
+    }
+    bool any_pending = false;
+    auto earliest = BatchQueue::Clock::time_point::max();
+    for (const auto& [key, group] : groups_) {
+      if (group->queue.empty()) continue;
+      any_pending = true;
+      earliest = std::min(
+          earliest, group->queue.deadline(
+                        std::chrono::microseconds(options_.max_wait_us)));
+    }
+    if (stop_ && !any_pending) return;  // drained: shut down
+    if (any_pending) {
+      work_cv_.wait_until(lock, earliest);
+    } else {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats stats;
+  stats.totals = retired_;
+  stats.groups = groups_.size() + retired_groups_;
+  for (const auto& [key, group] : groups_) {
+    accumulate(stats.totals, group->stats);
+  }
+  return stats;
+}
+
+Server::GroupStats Server::weights_stats(const CompressedNM* weights) const {
+  std::lock_guard lock(mutex_);
+  GroupStats stats;
+  for (const auto& [key, group] : groups_) {
+    if (key.weights == weights) accumulate(stats, group->stats);
+  }
+  return stats;
+}
+
+}  // namespace nmspmm

@@ -1,0 +1,169 @@
+// nmspmm::Server — asynchronous request front end with dynamic batching.
+//
+// Real inference traffic arrives as a stream of small, unaligned requests
+// (decode steps are often a single activation row), not pre-formed
+// batches. Serving each row as its own SpMM re-reads the whole compressed
+// weight matrix per request; coalescing concurrent requests against the
+// same weights into one batched SpMM reads it once and rides the Engine's
+// bucketed plan cache. The Server implements that coalescing:
+//
+//   nmspmm::Server server;                        // owns an Engine
+//   auto f1 = server.submit(a1.view(), weights, c1.view());
+//   auto f2 = server.submit(a2.view(), weights, c2.view());
+//   f1.get().check_ok();                          // both served by ONE SpMM
+//
+// submit() enqueues the request and returns immediately; a dedicated
+// dispatcher thread groups pending requests by (weights, options),
+// flushes a group when its pending rows reach max_batch_rows or its
+// oldest request has waited max_wait_us, runs one Engine::spmm over the
+// gathered rows, and scatters the result rows back into each caller's C
+// view before fulfilling the futures. Callers must keep their A and C
+// memory alive until the future resolves.
+//
+// Shape errors are rejected per request (an immediately-ready error
+// future) so one malformed submission can never poison a batch. Shutdown
+// drains: every request accepted before shutdown() is served, then the
+// dispatcher exits; submissions after shutdown fail with
+// FAILED_PRECONDITION. Prefer raw Engine::spmm when requests are already
+// large batches — batching adds a gather/scatter copy and up to
+// max_wait_us of latency that only pay off on small concurrent requests.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/batch_queue.hpp"
+
+namespace nmspmm {
+
+struct ServerOptions {
+  /// Flush a group as soon as its pending rows reach this many. Also the
+  /// granularity of batch assembly: larger values amortize weight reads
+  /// across more requests but grow the staging buffers and tail latency.
+  index_t max_batch_rows = 64;
+  /// Flush a non-full group once its oldest request has waited this long.
+  /// 0 = flush continuously (batches only what accumulates while the
+  /// dispatcher is busy executing).
+  std::uint32_t max_wait_us = 200;
+  /// Upper bound on retained per-group state. When more distinct
+  /// (weights, options) groups than this have been seen, idle groups
+  /// (empty queues) are evicted: their counters fold into the server
+  /// totals, and their weights reference and staging buffers are
+  /// released — a server cycling through many weight matrices stays
+  /// bounded. An evicted group that comes back simply starts fresh.
+  std::size_t max_groups = 64;
+  /// The backing engine (worker pool + plan cache) the server owns.
+  EngineOptions engine;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();  // shutdown(): drains pending requests, then joins
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue C = A (*) (B, D) and return a future that resolves when the
+  /// request has been served (possibly coalesced with others). A and C
+  /// must stay alive until then. Shape/argument errors resolve the future
+  /// immediately without enqueuing.
+  std::future<Status> submit(ConstViewF A,
+                             std::shared_ptr<const CompressedNM> B, ViewF C,
+                             SpmmOptions options = {});
+
+  /// Stop accepting requests, serve everything already queued, and join
+  /// the dispatcher. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Per-group (and aggregate) serving counters.
+  struct GroupStats {
+    std::uint64_t requests = 0;         ///< submissions accepted
+    std::uint64_t rows = 0;             ///< activation rows accepted
+    std::uint64_t batches = 0;          ///< Engine::spmm calls dispatched
+    std::uint64_t full_flushes = 0;     ///< batches flushed on row budget
+    std::uint64_t timeout_flushes = 0;  ///< flushed on max_wait / drain
+    std::uint64_t errors = 0;           ///< requests resolved non-OK
+    std::size_t max_queue_depth = 0;    ///< peak pending requests
+  };
+  struct Stats {
+    GroupStats totals;  ///< live groups + counters of evicted ones
+    std::size_t groups = 0;  ///< distinct (weights, options) groups seen
+  };
+  [[nodiscard]] Stats stats() const;
+  /// Aggregate over every *live* group serving @p weights (any options);
+  /// counters of groups already evicted under max_groups only survive in
+  /// stats().totals.
+  [[nodiscard]] GroupStats weights_stats(const CompressedNM* weights) const;
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  /// Requests batch together only when they agree on weights and options
+  /// (one Engine::spmm must serve them all).
+  struct GroupKey {
+    const CompressedNM* weights = nullptr;
+    SpmmOptions options;
+
+    friend bool operator==(const GroupKey&, const GroupKey&) = default;
+  };
+  struct GroupKeyHash {
+    std::size_t operator()(const GroupKey& k) const noexcept;
+  };
+  struct Group {
+    std::shared_ptr<const CompressedNM> weights;
+    BatchQueue queue;
+    GroupStats stats;
+  };
+  /// A popped batch, ready to execute outside the lock.
+  struct PendingBatch {
+    Group* group = nullptr;
+    std::shared_ptr<const CompressedNM> weights;
+    SpmmOptions options;
+    std::vector<BatchRequest> requests;
+    index_t rows = 0;
+  };
+  /// Reusable gather/scatter staging, owned by the dispatcher thread.
+  struct Staging {
+    MatrixF a;
+    MatrixF c;
+  };
+
+  void dispatcher_loop();
+  /// Pop the next batch that must flush (row budget, deadline, or drain),
+  /// oldest front request first when several groups are ready. Requires
+  /// mutex_ held; returns an empty batch when nothing is ready.
+  PendingBatch next_batch_locked(BatchQueue::Clock::time_point now);
+  /// Evict idle groups beyond options_.max_groups (folding their stats
+  /// into retired_) and drop staging for weights no live group serves.
+  /// Requires mutex_ held.
+  void prune_idle_groups_locked(
+      std::unordered_map<const CompressedNM*, Staging>& staging);
+  /// Assemble, execute, scatter, and resolve one batch (no lock held).
+  /// Returns the batch's Status so the dispatcher can count errors.
+  Status serve_batch(
+      PendingBatch& batch,
+      std::unordered_map<const CompressedNM*, Staging>& staging);
+
+  ServerOptions options_;
+  Engine engine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::unordered_map<GroupKey, std::unique_ptr<Group>, GroupKeyHash> groups_;
+  GroupStats retired_;  ///< folded counters of groups evicted by max_groups
+  std::size_t retired_groups_ = 0;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace nmspmm

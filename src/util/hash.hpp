@@ -1,0 +1,15 @@
+// Hash mixing shared by the engine's plan-cache key, the SpmmOptions
+// hash, and the serving layer's batch-group key — one definition so the
+// mixing scheme cannot silently diverge between translation units.
+#pragma once
+
+#include <cstddef>
+
+namespace nmspmm {
+
+/// Boost-style combine: fold @p v into @p seed.
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace nmspmm

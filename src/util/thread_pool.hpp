@@ -86,6 +86,17 @@ void parallel_for(ThreadPool* pool, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t, std::int64_t)>& body,
                   std::int64_t min_grain = 1);
 
+/// As parallel_for, but the body also receives its chunk slot, a value in
+/// [0, pool->size()) distinct for every chunk of one call. Callers use it
+/// to hand each concurrently running chunk a private scratch buffer that
+/// lives across repeated calls — no per-task heap allocation on hot
+/// loops (the kernels' per-worker A staging / index buffers).
+void parallel_for_slots(
+    ThreadPool* pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t slot, std::int64_t lo,
+                             std::int64_t hi)>& body,
+    std::int64_t min_grain = 1);
+
 /// Convenience overload on the process-global pool.
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t, std::int64_t)>& body,

@@ -122,6 +122,32 @@ TEST(Validation, RejectsThreadTileNotDividingBlock) {
   EXPECT_THROW(validate_params(p, kSparsity50, 192 * 1024, 4096), CheckError);
 }
 
+TEST(Validation, RejectsKsBeyondUint16IndexRange) {
+  // Pre-fix, ks > 65536 was accepted and the kernels' uint16 index
+  // staging (PolicyV3's idxbuf, col_info's remapped matrix) silently
+  // wrapped within-chunk offsets — wrong results, no error.
+  const NMConfig cfg{2, 4, 16};
+  BlockingParams p = table1_preset(SizeClass::kLarge);
+  const std::size_t unlimited = static_cast<std::size_t>(-1);
+  const index_t k = index_t{1} << 20;
+
+  p.ks = kMaxKs + cfg.m;  // multiple of M, one window past the limit
+  EXPECT_THROW(validate_params(p, cfg, unlimited, k), CheckError);
+  p.ks = kMaxKs;  // exactly at the limit: offsets reach 65535, still OK
+  EXPECT_NO_THROW(validate_params(p, cfg, unlimited, k));
+}
+
+TEST(DeriveKs, ClampedToUint16IndexRange) {
+  // An effectively unlimited shared-memory budget must not derive a ks
+  // the uint16 index staging cannot address (nor overflow the cast).
+  const NMConfig cfg{2, 4, 16};
+  const index_t ks =
+      derive_ks(cfg, 32, 32, static_cast<std::size_t>(-1), index_t{1} << 30);
+  EXPECT_LE(ks, kMaxKs);
+  EXPECT_EQ(ks % cfg.m, 0);
+  EXPECT_GT(ks, 0);
+}
+
 TEST(Validation, RejectsOversizedWorkingSet) {
   BlockingParams p = table1_preset(SizeClass::kLarge);
   p.ks = 4096;  // way past any shared-memory budget

@@ -1,0 +1,308 @@
+// nmspmm::Server: dynamic micro-batching correctness (coalesced results
+// bit-exact vs serial engine.spmm), max-wait flushes, concurrent
+// submitters across weight matrices, per-request rejection, and shutdown
+// draining in-flight requests. Plus the BatchQueue policy in isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/nmspmm.hpp"
+#include "serve/server.hpp"
+#include "tests/testing.hpp"
+#include "workloads/generators.hpp"
+
+namespace nmspmm {
+namespace {
+
+std::shared_ptr<const CompressedNM> shared_weights(index_t k, index_t n,
+                                                   const NMConfig& cfg,
+                                                   Rng& rng) {
+  return std::make_shared<const CompressedNM>(
+      random_compressed_int(k, n, cfg, rng));
+}
+
+MatrixF reference_for(ConstViewF A, const CompressedNM& B) {
+  MatrixF C(A.rows(), B.cols);
+  spmm_reference(A, B, C.view(), false);
+  return C;
+}
+
+TEST(BatchQueuePolicy, ReadyOnRowBudgetOrDeadline) {
+  using namespace std::chrono;
+  BatchQueue queue;
+  const auto t0 = BatchQueue::Clock::now();
+  MatrixF a(3, 8), c(3, 8);
+  queue.push(BatchRequest{a.view(), c.view(), {}, t0});
+  EXPECT_EQ(queue.pending_rows(), 3);
+
+  // Not full, deadline not reached.
+  EXPECT_FALSE(queue.ready(t0 + microseconds(10), 8, microseconds(100)));
+  // Deadline reached.
+  EXPECT_TRUE(queue.ready(t0 + microseconds(100), 8, microseconds(100)));
+  // Row budget reached.
+  MatrixF a2(5, 8), c2(5, 8);
+  queue.push(BatchRequest{a2.view(), c2.view(), {}, t0});
+  EXPECT_TRUE(queue.ready(t0 + microseconds(10), 8, microseconds(100)));
+}
+
+TEST(BatchQueuePolicy, TakeBatchRespectsRowBudgetButNeverStarves) {
+  BatchQueue queue;
+  const auto t0 = BatchQueue::Clock::now();
+  MatrixF big(10, 4), c_big(10, 4);
+  MatrixF small(2, 4), c_small(2, 4);
+  queue.push(BatchRequest{big.view(), c_big.view(), {}, t0});
+  queue.push(BatchRequest{small.view(), c_small.view(), {}, t0});
+
+  // An oversized request flushes alone instead of deadlocking.
+  auto first = queue.take_batch(/*max_rows=*/4);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].a.rows(), 10);
+  EXPECT_EQ(queue.pending_rows(), 2);
+  auto second = queue.take_batch(4);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.max_depth_seen(), 2u);
+}
+
+TEST(Server, CoalescedResultsMatchSerialEngineBitExactly) {
+  Rng rng(900);
+  const index_t k = 96, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 32;
+  opt.max_wait_us = 200000;  // generous: only full batches flush early
+  Server server(opt);
+
+  struct Request {
+    MatrixF a;
+    MatrixF c;
+    MatrixF expect;
+    std::future<Status> done;
+  };
+  std::vector<Request> requests;
+  for (int i = 0; i < 48; ++i) {
+    Request r;
+    r.a = random_int_matrix(1 + i % 4, k, rng);
+    r.c = MatrixF(r.a.rows(), n);
+    r.expect = reference_for(r.a.view(), *B);
+    requests.push_back(std::move(r));
+  }
+  for (Request& r : requests) {
+    r.done = server.submit(r.a.view(), B, r.c.view());
+  }
+  for (Request& r : requests) NMSPMM_ASSERT_OK(r.done.get());
+
+  // Integer-valued operands: the batched product must agree bit-exactly
+  // with the per-request reference.
+  for (const Request& r : requests) {
+    EXPECT_EQ(max_abs_diff(r.expect.cview(), r.c.cview()), 0.0);
+  }
+
+  // ~120 rows submitted against a 32-row budget: requests genuinely
+  // coalesced instead of being served one by one.
+  const Server::GroupStats stats = server.weights_stats(B.get());
+  EXPECT_EQ(stats.requests, 48u);
+  EXPECT_LT(stats.batches, stats.requests);
+  EXPECT_GT(stats.full_flushes, 0u);
+}
+
+TEST(Server, MaxWaitFlushesPartialBatch) {
+  Rng rng(901);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 1024;  // never fills from one tiny request
+  opt.max_wait_us = 2000;
+  Server server(opt);
+
+  const MatrixF A = random_int_matrix(2, k, rng);
+  MatrixF C(2, n);
+  auto done = server.submit(A.view(), B, C.view());
+  // The only flush trigger is the max-wait deadline.
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  NMSPMM_ASSERT_OK(done.get());
+  EXPECT_EQ(max_abs_diff(reference_for(A.view(), *B).cview(), C.cview()),
+            0.0);
+  EXPECT_GE(server.weights_stats(B.get()).timeout_flushes, 1u);
+}
+
+TEST(Server, ConcurrentSubmittersAcrossTwoWeightMatrices) {
+  Rng rng(902);
+  const index_t k = 64;
+  auto B1 = shared_weights(k, 48, NMConfig{2, 4, 16}, rng);
+  auto B2 = shared_weights(k, 80, NMConfig{4, 8, 8}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 16;
+  opt.max_wait_us = 500;
+  Server server(opt);
+
+  // Pre-generate per-thread problems (Rng is not thread-safe).
+  struct Problem {
+    std::shared_ptr<const CompressedNM> weights;
+    MatrixF a;
+    MatrixF c;
+    MatrixF expect;
+  };
+  const int kThreads = 6, kPerThread = 16;
+  std::vector<std::vector<Problem>> work(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      Problem p;
+      p.weights = (t + i) % 2 == 0 ? B1 : B2;
+      p.a = random_int_matrix(1 + i % 3, k, rng);
+      p.c = MatrixF(p.a.rows(), p.weights->cols);
+      p.expect = reference_for(p.a.view(), *p.weights);
+      work[static_cast<std::size_t>(t)].push_back(std::move(p));
+    }
+  }
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&server, &work, &failures, t] {
+      for (Problem& p : work[static_cast<std::size_t>(t)]) {
+        auto done = server.submit(p.a.view(), p.weights, p.c.view());
+        if (!done.get().ok()) ++failures;
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  for (const auto& thread_work : work) {
+    for (const Problem& p : thread_work) {
+      EXPECT_EQ(max_abs_diff(p.expect.cview(), p.c.cview()), 0.0);
+    }
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.totals.requests,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.groups, 2u);
+  EXPECT_EQ(stats.totals.errors, 0u);
+}
+
+TEST(Server, RejectsMalformedRequestsWithoutPoisoningTheBatch) {
+  Rng rng(903);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 64;
+  opt.max_wait_us = 1000;
+  Server server(opt);
+
+  const MatrixF good_a = random_int_matrix(2, k, rng);
+  MatrixF good_c(2, n);
+  const MatrixF bad_a = random_int_matrix(2, k + 16, rng);  // wrong depth
+  MatrixF bad_c(2, n);
+  MatrixF mismatched_c(2, n + 16);  // wrong output shape
+
+  auto good = server.submit(good_a.view(), B, good_c.view());
+  auto bad_depth = server.submit(bad_a.view(), B, bad_c.view());
+  auto bad_out = server.submit(good_a.view(), B, mismatched_c.view());
+  auto null_weights = server.submit(good_a.view(), nullptr, good_c.view());
+
+  EXPECT_EQ(bad_depth.get().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad_out.get().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(null_weights.get().code(), StatusCode::kInvalidArgument);
+  NMSPMM_ASSERT_OK(good.get());
+  EXPECT_EQ(max_abs_diff(reference_for(good_a.view(), *B).cview(),
+                         good_c.cview()),
+            0.0);
+}
+
+TEST(Server, EvictsIdleGroupsBeyondMaxGroups) {
+  Rng rng(905);
+  const index_t k = 64, n = 64;
+  ServerOptions opt;
+  opt.max_batch_rows = 4;
+  opt.max_wait_us = 100;
+  opt.max_groups = 2;
+  // The engine's plan cache pins weights too; bound it so releases are
+  // observable through use_count below.
+  opt.engine.plan_cache_capacity = 1;
+  Server server(opt);
+
+  // Serve six distinct weight matrices sequentially; with a cap of 2,
+  // idle groups must be evicted and their weights references released.
+  std::vector<std::shared_ptr<const CompressedNM>> weights;
+  for (int i = 0; i < 6; ++i) {
+    weights.push_back(shared_weights(k, n, NMConfig{2, 4, 16}, rng));
+    const MatrixF A = random_int_matrix(1, k, rng);
+    MatrixF C(1, n);
+    NMSPMM_ASSERT_OK(server.submit(A.view(), weights.back(), C.view()).get());
+  }
+
+  // All six groups were seen and every request counted, even though most
+  // group records have been retired.
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.groups, 6u);
+  EXPECT_EQ(stats.totals.requests, 6u);
+
+  // The prune that necessarily ran before the last batch was dispatched
+  // had already released at least three of the earlier weights: with the
+  // group evicted and its plan aged out of the size-1 plan cache, only
+  // the test's own shared_ptr remains.
+  int released = 0;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (weights[i].use_count() == 1) ++released;
+  }
+  EXPECT_GE(released, 3);
+}
+
+TEST(Server, ShutdownDrainsInFlightRequests) {
+  Rng rng(904);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 1 << 20;  // never full
+  opt.max_wait_us = 60 * 1000 * 1000;  // requests would sit for a minute
+  Server server(opt);
+
+  struct Request {
+    MatrixF a;
+    MatrixF c;
+    MatrixF expect;
+    std::future<Status> done;
+  };
+  std::vector<Request> requests;
+  for (int i = 0; i < 8; ++i) {
+    Request r;
+    r.a = random_int_matrix(2, k, rng);
+    r.c = MatrixF(2, n);
+    r.expect = reference_for(r.a.view(), *B);
+    requests.push_back(std::move(r));
+  }
+  for (Request& r : requests) {
+    r.done = server.submit(r.a.view(), B, r.c.view());
+  }
+
+  // Shutdown must serve everything already accepted, not abandon it.
+  server.shutdown();
+  for (Request& r : requests) {
+    ASSERT_EQ(r.done.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    NMSPMM_ASSERT_OK(r.done.get());
+    EXPECT_EQ(max_abs_diff(r.expect.cview(), r.c.cview()), 0.0);
+  }
+
+  // After shutdown, new submissions fail fast instead of hanging.
+  Request late;
+  late.a = random_int_matrix(1, k, rng);
+  late.c = MatrixF(1, n);
+  auto refused = server.submit(late.a.view(), B, late.c.view());
+  EXPECT_EQ(refused.get().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace nmspmm
