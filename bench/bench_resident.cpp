@@ -1,0 +1,149 @@
+// Machine-readable perf smoke for the plan-time pre-packed hot path.
+//
+// Emits BENCH_spmm.json — GFLOP/s per kernel variant on a warm plan plus
+// serving throughput on an m=1 decode stream — so CI (and the perf
+// trajectory across PRs) has numbers to diff instead of eyeballing
+// tables. The JSON also records the steady-state pack_b_block counters,
+// which must stay at zero: any re-introduction of per-call weight
+// staging shows up as a nonzero "staged_calls" in the artifact.
+//
+// Defaults are laptop/CI-friendly; pass --m/--n/--k for real sweeps.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/pack.hpp"
+
+using namespace nmspmm;
+using namespace nmspmm::bench;
+
+namespace {
+
+struct VariantResult {
+  std::string name;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double packing_ratio = 1.0;
+};
+
+std::string json_escape_free(double v) {
+  // JSON has no inf/nan; clamp degenerate timings to 0.
+  if (!std::isfinite(v) || v < 0.0) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_resident",
+                "GFLOP/s per variant + serving throughput, JSON output");
+  cli.add_int("m", 256, "activation rows for the variant sweep");
+  cli.add_int("n", 2048, "output columns");
+  cli.add_int("k", 2048, "reduction depth");
+  cli.add_int("requests", 64, "decode requests per serving iteration");
+  cli.add_int("threads", 1, "pool size (1 = single-core, the CI default)");
+  cli.add_string("out", "BENCH_spmm.json", "output JSON path");
+  if (!cli.parse(argc, argv)) return 1;
+  const index_t m = cli.get_int("m"), n = cli.get_int("n"),
+                k = cli.get_int("k");
+  const index_t requests = cli.get_int("requests");
+  const NMConfig cfg = kSparsity875;
+
+  Rng rng(77);
+  MeasuredProblem prob = make_problem(m, n, k, cfg, rng);
+  SpmmOptions base_opt;
+  base_opt.num_threads = static_cast<unsigned>(cli.get_int("threads"));
+
+  std::vector<VariantResult> results;
+  for (const KernelVariant variant :
+       {KernelVariant::kV1, KernelVariant::kV2, KernelVariant::kV3}) {
+    SpmmOptions opt = base_opt;
+    opt.variant = variant;
+    const auto plan = SpmmPlan::create(m, prob.weights, opt);
+    VariantResult r;
+    r.name = to_string(variant);
+    r.seconds = measure_plan(plan, prob.a.view(), prob.c.view());
+    r.gflops = prob.flops / r.seconds * 1e-9;
+    r.packing_ratio = plan.packing_ratio();
+    results.push_back(r);
+  }
+
+  // Serving: warm engine, m=1 decode stream, per-request spmm. The
+  // pack_b_block counters across the timed region certify the resident
+  // hot path (zero staged weight bytes in steady state).
+  EngineOptions engine_opt;
+  engine_opt.num_threads = static_cast<unsigned>(cli.get_int("threads"));
+  Engine engine(engine_opt);
+  MatrixF a1 = random_matrix(1, k, rng);
+  MatrixF c1(1, n);
+  NMSPMM_CHECK_OK(engine.spmm(a1.view(), prob.weights, c1.view()));  // warm
+  const std::uint64_t staged_calls0 = detail::pack_b_block_calls();
+  const std::uint64_t staged_bytes0 = detail::pack_b_block_bytes();
+  const double t_stream = time_callable([&] {
+    for (index_t r = 0; r < requests; ++r) {
+      NMSPMM_CHECK_OK(engine.spmm(a1.view(), prob.weights, c1.view()));
+    }
+  }, 1, 3, 0.2).median;
+  const std::uint64_t staged_calls =
+      detail::pack_b_block_calls() - staged_calls0;
+  const std::uint64_t staged_bytes =
+      detail::pack_b_block_bytes() - staged_bytes0;
+  const double requests_per_s = static_cast<double>(requests) / t_stream;
+
+  ResultTable table({"variant", "ms", "GFLOP/s", "packing ratio"});
+  for (const VariantResult& r : results) {
+    table.add_row({r.name, ResultTable::fmt(r.seconds * 1e3, 2),
+                   ResultTable::fmt(r.gflops, 2),
+                   ResultTable::fmt(r.packing_ratio, 2)});
+  }
+  print_table(table);
+  std::cout << "serving: " << ResultTable::fmt(requests_per_s, 0)
+            << " decode requests/s (m=1), steady-state staged weight "
+            << "bytes: " << staged_bytes << " in " << staged_calls
+            << " pack_b_block call(s)\n";
+
+  const std::string out = cli.get_string("out");
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "cannot open " << out << " for writing\n";
+    return 1;
+  }
+  os << "{\n"
+     << "  \"bench\": \"bench_resident\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"shape\": {\"m\": " << m << ", \"n\": " << n << ", \"k\": " << k
+     << ", \"sparsity\": " << cfg.sparsity()
+     << ", \"L\": " << cfg.vector_length << "},\n"
+     << "  \"threads\": " << cli.get_int("threads") << ",\n"
+     << "  \"variants\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const VariantResult& r = results[i];
+    os << "    {\"variant\": \"" << r.name << "\", \"gflops\": "
+       << json_escape_free(r.gflops) << ", \"ms\": "
+       << json_escape_free(r.seconds * 1e3) << ", \"packing_ratio\": "
+       << json_escape_free(r.packing_ratio) << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"serving\": {\"rows_per_request\": 1, \"requests\": " << requests
+     << ", \"requests_per_s\": " << json_escape_free(requests_per_s)
+     << ", \"per_request_us\": "
+     << json_escape_free(t_stream * 1e6 / static_cast<double>(requests))
+     << ", \"steady_state_pack_b_calls\": " << staged_calls
+     << ", \"steady_state_staged_bytes\": " << staged_bytes << "}\n"
+     << "}\n";
+  os.close();
+  std::cout << "wrote " << out << "\n";
+
+  if (staged_calls != 0) {
+    std::cerr << "FAIL: steady-state serving staged weights ("
+              << staged_calls << " pack_b_block calls)\n";
+    return 1;
+  }
+  return 0;
+}

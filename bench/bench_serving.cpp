@@ -9,9 +9,12 @@
 // in the flush window. The default shape (8192 x 8192 at 87.5%, ~32 MB of
 // compressed weights) keeps B out of the last-level cache, as real LLM
 // projection matrices are — on cache-resident weights the CPU re-read is
-// nearly free and batching shows less. Expected: >= 1.5x throughput on a
-// 64-request stream (more on multi-core machines, where one batched
-// product also parallelizes better than 64 tiny kernels).
+// nearly free and batching shows less. Since plan-time weight pre-packing
+// the per-request path streams resident weights with no staging tax, so
+// on a single core the Server's coalescing win is largely gone (its
+// dispatcher thread competes with the submitter); the batching story is
+// now multi-core, where one batched product parallelizes better than 64
+// tiny kernels.
 #include <future>
 #include <vector>
 

@@ -33,14 +33,24 @@ void gemm_blocked_impl(ConstViewF A, ConstViewF B, ViewF C, index_t ms,
     for (index_t r = lo; r < hi; ++r) std::fill_n(C.row(r), n, 0.0f);
   });
 
-  std::vector<float> bpack(static_cast<std::size_t>(ks * ldb));
+  // Reusable B-staging scratch: the figure benches call this baseline in
+  // a tight loop, and a per-call allocation (ks * ldb floats, easily
+  // hundreds of KiB) polluted its numbers with allocator noise. Grown
+  // monotonically, reused across calls on the same thread.
+  thread_local std::vector<float> bpack_storage;
+  if (bpack_storage.size() < static_cast<std::size_t>(ks * ldb)) {
+    bpack_storage.resize(static_cast<std::size_t>(ks * ldb));
+  }
+  // Captured as a pointer: a thread_local name inside the parallel_for
+  // lambda would re-resolve to each worker's own (empty) vector.
+  float* const bpack = bpack_storage.data();
   for (index_t nb = 0; nb < num_nblocks; ++nb) {
     const index_t j0 = nb * ns;
     const index_t jb = std::min(ns, n - j0);
     for (index_t kb_idx = 0; kb_idx < num_kblocks; ++kb_idx) {
       const index_t k0 = kb_idx * ks;
       const index_t kb = std::min(ks, k - k0);
-      detail::pack_b_block(B, k0, kb, j0, jb, bpack.data(), ldb);
+      detail::pack_b_block(B, k0, kb, j0, jb, bpack, ldb);
       parallel_for(0, num_mblocks, [&](index_t mlo, index_t mhi) {
         for (index_t mb_idx = mlo; mb_idx < mhi; ++mb_idx) {
           const index_t i0 = mb_idx * ms;
@@ -57,10 +67,10 @@ void gemm_blocked_impl(ConstViewF A, ConstViewF B, ViewF C, index_t ms,
               float* c = C.row(i0 + it) + j0 + j;
               if (mt == kMicroM && jw == kMicroN) {
                 detail::micro_kernel<kMicroM, kMicroN, false>(
-                    kb, a_tile, bpack.data() + j, ldb, IdxIdentity{}, c,
+                    kb, a_tile, bpack + j, ldb, IdxIdentity{}, c,
                     C.ld());
               } else {
-                detail::micro_kernel_tail(kb, a_tile, bpack.data() + j, ldb,
+                detail::micro_kernel_tail(kb, a_tile, bpack + j, ldb,
                                           IdxIdentity{}, mt,
                                           static_cast<int>(jw), c, C.ld());
               }

@@ -81,8 +81,11 @@ struct IdxFromBuffer {
 
 /// MT x NT inner kernel: C[0..MT)[0..NT) += sum_p A[.., idx(p)] (x)
 /// Bpack[p][..]. @p Prefetch additionally prefetches the B row a few
-/// steps ahead (part of the V3 pipeline).
-template <int MT, int NT, bool Prefetch, class IdxFn>
+/// steps ahead (part of the V3 pipeline). With @p Accumulate false the
+/// tile is stored instead of added (beta = 0), which lets the blocked
+/// driver fuse the C zero-fill into the first k-chunk's stores and drop
+/// one full write+read pass over C per call.
+template <int MT, int NT, bool Prefetch, bool Accumulate = true, class IdxFn>
 inline void micro_kernel(index_t ws, APanel a,
                          const float* NMSPMM_RESTRICT bpack, index_t ldb,
                          IdxFn idx_of, float* NMSPMM_RESTRICT c,
@@ -106,7 +109,11 @@ inline void micro_kernel(index_t ws, APanel a,
     }
     for (int i = 0; i < MT; ++i) {
       float* crow = c + i * ldc;
-      _mm512_storeu_ps(crow, _mm512_add_ps(_mm512_loadu_ps(crow), acc[i]));
+      if constexpr (Accumulate) {
+        _mm512_storeu_ps(crow, _mm512_add_ps(_mm512_loadu_ps(crow), acc[i]));
+      } else {
+        _mm512_storeu_ps(crow, acc[i]);
+      }
     }
     return;
   }
@@ -138,10 +145,15 @@ inline void micro_kernel(index_t ws, APanel a,
       }
       for (int i = 0; i < HM; ++i) {
         float* crow = c + (half + i) * ldc;
-        _mm256_storeu_ps(crow,
-                         _mm256_add_ps(_mm256_loadu_ps(crow), acc[i][0]));
-        _mm256_storeu_ps(crow + 8,
-                         _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[i][1]));
+        if constexpr (Accumulate) {
+          _mm256_storeu_ps(crow,
+                           _mm256_add_ps(_mm256_loadu_ps(crow), acc[i][0]));
+          _mm256_storeu_ps(
+              crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[i][1]));
+        } else {
+          _mm256_storeu_ps(crow, acc[i][0]);
+          _mm256_storeu_ps(crow + 8, acc[i][1]);
+        }
       }
     }
     return;
@@ -162,7 +174,11 @@ inline void micro_kernel(index_t ws, APanel a,
     }
     for (int i = 0; i < MT; ++i) {
       float* crow = c + i * ldc;
-      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[i]));
+      if constexpr (Accumulate) {
+        _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[i]));
+      } else {
+        _mm256_storeu_ps(crow, acc[i]);
+      }
     }
     return;
   }
@@ -177,7 +193,11 @@ inline void micro_kernel(index_t ws, APanel a,
     }
     for (int i = 0; i < MT; ++i) {
       float* crow = c + i * ldc;
-      _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow), acc[i]));
+      if constexpr (Accumulate) {
+        _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow), acc[i]));
+      } else {
+        _mm_storeu_ps(crow, acc[i]);
+      }
     }
     return;
   }
@@ -193,12 +213,18 @@ inline void micro_kernel(index_t ws, APanel a,
     }
   }
   for (int i = 0; i < MT; ++i)
-    for (int j = 0; j < NT; ++j) c[i * ldc + j] += acc[i][j];
+    for (int j = 0; j < NT; ++j) {
+      if constexpr (Accumulate) {
+        c[i * ldc + j] += acc[i][j];
+      } else {
+        c[i * ldc + j] = acc[i][j];
+      }
+    }
 }
 
 /// Tail kernel with runtime tile bounds (mt <= 8, nt <= 16); used for the
 /// ragged edges of C so the fast path above never branches.
-template <class IdxFn>
+template <bool Accumulate = true, class IdxFn>
 inline void micro_kernel_tail(index_t ws, APanel a,
                               const float* NMSPMM_RESTRICT bpack,
                               index_t ldb, IdxFn idx_of, int mt, int nt,
@@ -213,7 +239,13 @@ inline void micro_kernel_tail(index_t ws, APanel a,
     }
   }
   for (int i = 0; i < mt; ++i)
-    for (int j = 0; j < nt; ++j) c[i * ldc + j] += acc[i][j];
+    for (int j = 0; j < nt; ++j) {
+      if constexpr (Accumulate) {
+        c[i * ldc + j] += acc[i][j];
+      } else {
+        c[i * ldc + j] = acc[i][j];
+      }
+    }
 }
 
 /// Fast-path tile sizes for the CPU micro kernel: 8 x 16 keeps the

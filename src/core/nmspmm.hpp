@@ -7,6 +7,7 @@
 #include "core/kernel_params.hpp" // IWYU pragma: export
 #include "core/nm_config.hpp"    // IWYU pragma: export
 #include "core/nm_format.hpp"    // IWYU pragma: export
+#include "core/packed_weights.hpp" // IWYU pragma: export
 #include "core/pruning.hpp"      // IWYU pragma: export
 #include "core/spmm.hpp"         // IWYU pragma: export
 #include "core/spmm_kernels.hpp" // IWYU pragma: export

@@ -1,9 +1,23 @@
 #include "core/pack.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 namespace nmspmm::detail {
+
+namespace {
+std::atomic<std::uint64_t> g_pack_b_calls{0};
+std::atomic<std::uint64_t> g_pack_b_bytes{0};
+}  // namespace
+
+std::uint64_t pack_b_block_calls() {
+  return g_pack_b_calls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t pack_b_block_bytes() {
+  return g_pack_b_bytes.load(std::memory_order_relaxed);
+}
 
 void pack_a_full(ConstViewF A, index_t i0, index_t mb, index_t k0, index_t kb,
                  float* apack, index_t lda) {
@@ -35,6 +49,11 @@ void pack_a_cols(ConstViewF A, index_t i0, index_t mb, index_t k0,
 
 void pack_b_block(ConstViewF B, index_t u0, index_t wb, index_t j0,
                   index_t nb, float* bpack, index_t ldb) {
+  g_pack_b_calls.fetch_add(1, std::memory_order_relaxed);
+  g_pack_b_bytes.fetch_add(
+      static_cast<std::uint64_t>(wb) * static_cast<std::uint64_t>(nb) *
+          sizeof(float),
+      std::memory_order_relaxed);
   for (index_t u = 0; u < wb; ++u) {
     const float* src = B.row(u0 + u) + j0;
     float* dst = bpack + u * ldb;

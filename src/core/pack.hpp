@@ -29,4 +29,12 @@ void pack_a_cols(ConstViewF A, index_t i0, index_t mb, index_t k0,
 void pack_b_block(ConstViewF B, index_t u0, index_t wb, index_t j0,
                   index_t nb, float* bpack, index_t ldb);
 
+/// Process-wide counters over pack_b_block: invocations and weight bytes
+/// staged. Since plan-time pre-packing (PackedWeights) the serving hot
+/// path must never stage weights — regression tests assert these stay
+/// flat across steady-state engine.spmm calls (the only remaining
+/// callers are plan-time packing and the dense baseline).
+std::uint64_t pack_b_block_calls();
+std::uint64_t pack_b_block_bytes();
+
 }  // namespace nmspmm::detail

@@ -1,0 +1,251 @@
+#include "core/packed_weights.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/col_info.hpp"
+#include "core/pack.hpp"
+#include "util/hash.hpp"
+
+namespace nmspmm {
+
+const char* to_string(PackedWeights::IndexKind kind) {
+  switch (kind) {
+    case PackedWeights::IndexKind::kDirect: return "direct";
+    case PackedWeights::IndexKind::kRemapped: return "remapped";
+  }
+  return "?";
+}
+
+PackedWeights PackedWeights::build(const CompressedNM& B, index_t ks,
+                                   index_t ns, IndexKind kind,
+                                   const ColInfo* col_info) {
+  const NMConfig& cfg = B.config;
+  cfg.validate();
+  NMSPMM_CHECK_MSG(ks > 0 && ks % cfg.m == 0,
+                   "ks must be a positive multiple of M, got " << ks);
+  NMSPMM_CHECK_MSG(ns > 0, "ns must be positive");
+  // Same guard as validate_params (kernel_params.hpp): the flattened
+  // streams hold within-chunk column offsets in uint16, so a chunk
+  // deeper than kMaxKs would silently wrap them.
+  NMSPMM_CHECK_MSG(ks <= kMaxKs,
+                   "ks=" << ks << " exceeds " << kMaxKs
+                         << ": flattened index streams are uint16 and "
+                            "would silently wrap");
+
+  PackedWeights pw;
+  pw.kind_ = kind;
+  pw.config_ = cfg;
+  pw.orig_rows_ = B.orig_rows;
+  pw.cols_ = B.cols;
+  pw.compressed_rows_ = B.rows();
+  pw.vector_length_ = cfg.vector_length;
+  pw.ks_ = ks;
+  pw.ns_ = ns;
+  pw.ldb_ = static_cast<index_t>(
+      round_up(static_cast<std::size_t>(ns), Matrix<float>::kLdPadElements));
+  pw.ws_full_ = ks * cfg.n / cfg.m;
+  const index_t pk = cfg.padded_k(B.orig_rows);
+  pw.num_chunks_ = ceil_div(pk, ks);
+  pw.num_nblocks_ = ceil_div(B.cols, ns);
+  pw.value_stride_ = pw.ws_full_ * pw.ldb_;
+  const index_t L = cfg.vector_length;
+  const index_t num_tiles = pw.num_chunks_ * pw.num_nblocks_;
+
+  // col_info pre-processing for the remapped kind: reuse the caller's
+  // (it must match the blocking) or run it here — either way execution
+  // only ever touches the flattened copies below.
+  ColInfo built_info;
+  const ColInfo* info = nullptr;
+  if (kind == IndexKind::kRemapped) {
+    if (col_info != nullptr) {
+      NMSPMM_CHECK_MSG(col_info->ks() == ks && col_info->ns() == ns,
+                       "col_info was built for ks=" << col_info->ks()
+                           << " ns=" << col_info->ns()
+                           << " but packing uses ks=" << ks << " ns=" << ns);
+      info = col_info;
+    } else {
+      built_info = build_col_info(B, ks, ns);
+      info = &built_info;
+    }
+    pw.packing_ratio_ = info->mean_packing_ratio();
+  }
+
+  // ---- values: one contiguous wb x ldb panel per tile, in execution
+  // order. pack_b_block produces the exact bytes the per-call staging
+  // used to, so the resident path is bit-identical to the staged one.
+  pw.values_.assign(
+      static_cast<std::size_t>(num_tiles * pw.value_stride_), 0.0f);
+  for (index_t nb = 0; nb < pw.num_nblocks_; ++nb) {
+    const index_t j0 = nb * ns;
+    const index_t jb = std::min(ns, B.cols - j0);
+    for (index_t chunk = 0; chunk < pw.num_chunks_; ++chunk) {
+      const index_t u0 = chunk * pw.ws_full_;
+      const index_t wb = std::min(pw.ws_full_, B.rows() - u0);
+      float* tile = pw.values_.data() +
+                    static_cast<std::size_t>(pw.tile_ordinal(chunk, nb)) *
+                        static_cast<std::size_t>(pw.value_stride_);
+      detail::pack_b_block(B.values.view(), u0, wb, j0, jb, tile, pw.ldb_);
+    }
+  }
+
+  // ---- index streams: per (tile, group) a contiguous wb-long uint16
+  // stream, group-major within the tile. Groups can straddle n-blocks
+  // when ns % L != 0, so tile group counts vary — index_offsets_ keeps
+  // the exact per-tile base.
+  pw.index_offsets_.assign(static_cast<std::size_t>(num_tiles) + 1, 0);
+  for (index_t nb = 0; nb < pw.num_nblocks_; ++nb) {
+    const index_t j0 = nb * ns;
+    const index_t j1 = std::min(j0 + ns, B.cols);
+    const index_t groups = ceil_div(j1, L) - j0 / L;
+    for (index_t chunk = 0; chunk < pw.num_chunks_; ++chunk) {
+      pw.index_offsets_[static_cast<std::size_t>(
+          pw.tile_ordinal(chunk, nb)) + 1] = groups * pw.ws_full_;
+    }
+  }
+  for (std::size_t t = 1; t < pw.index_offsets_.size(); ++t) {
+    pw.index_offsets_[t] += pw.index_offsets_[t - 1];
+  }
+  pw.indices_.assign(
+      static_cast<std::size_t>(pw.index_offsets_.back()), 0);
+  if (kind == IndexKind::kRemapped) {
+    pw.cols_offsets_.assign(static_cast<std::size_t>(num_tiles) + 1, 0);
+  }
+
+  for (index_t nb = 0; nb < pw.num_nblocks_; ++nb) {
+    const index_t j0 = nb * ns;
+    const index_t j1 = std::min(j0 + ns, B.cols);
+    const index_t g0 = j0 / L;
+    const index_t g1 = ceil_div(j1, L);
+    for (index_t chunk = 0; chunk < pw.num_chunks_; ++chunk) {
+      const index_t u0 = chunk * pw.ws_full_;
+      const index_t wb = std::min(pw.ws_full_, B.rows() - u0);
+      const auto ord = static_cast<std::size_t>(pw.tile_ordinal(chunk, nb));
+      std::uint16_t* streams =
+          pw.indices_.data() + static_cast<std::size_t>(pw.index_offsets_[ord]);
+      if (kind == IndexKind::kDirect) {
+        // V1 / V3-non-packed resolution, hoisted out of the inner loop:
+        // within-chunk offset (p/N)*M + D[u0+p][g] (< ks, so it fits).
+        for (index_t g = g0; g < g1; ++g) {
+          std::uint16_t* stream = streams + (g - g0) * pw.ws_full_;
+          for (index_t p = 0; p < wb; ++p) {
+            const index_t local =
+                (p / cfg.n) * cfg.m + B.indices(u0 + p, g);
+            NMSPMM_DCHECK(local >= 0 && local < ks);
+            stream[p] = static_cast<std::uint16_t>(local);
+          }
+        }
+      } else {
+        // V2 / V3-packed resolution: the reordered index matrix already
+        // names packed-panel positions; flatten its strided columns.
+        const PackPlan& plan = info->plan(chunk, nb);
+        for (index_t g = g0; g < g1; ++g) {
+          std::uint16_t* stream = streams + (g - g0) * pw.ws_full_;
+          for (index_t p = 0; p < wb; ++p) stream[p] = plan.remapped(p, g - g0);
+        }
+        pw.cols_pool_.insert(pw.cols_pool_.end(), plan.cols.begin(),
+                             plan.cols.end());
+        pw.cols_offsets_[ord + 1] = plan.cols.size();
+      }
+    }
+  }
+  if (kind == IndexKind::kRemapped) {
+    // cols were appended in (nb, chunk) order == ordinal order, so the
+    // per-tile sizes prefix-sum directly into pool offsets.
+    for (std::size_t t = 1; t < pw.cols_offsets_.size(); ++t) {
+      pw.cols_offsets_[t] += pw.cols_offsets_[t - 1];
+    }
+  }
+  return pw;
+}
+
+namespace {
+
+struct PackKey {
+  const CompressedNM* weights = nullptr;
+  index_t ks = 0;
+  index_t ns = 0;
+  int kind = 0;
+
+  friend bool operator==(const PackKey&, const PackKey&) = default;
+};
+
+struct PackKeyHash {
+  std::size_t operator()(const PackKey& k) const noexcept {
+    std::size_t h = std::hash<const void*>{}(k.weights);
+    hash_combine(h, static_cast<std::size_t>(k.ks));
+    hash_combine(h, static_cast<std::size_t>(k.ns));
+    hash_combine(h, static_cast<std::size_t>(k.kind));
+    return h;
+  }
+};
+
+/// Weakly-held interning entry. The weights weak_ptr doubles as the
+/// address-reuse guard: the raw pointer in the key can only name the
+/// matrix it was interned for while that matrix is still alive.
+struct PackEntry {
+  std::weak_ptr<const CompressedNM> weights;
+  std::weak_ptr<const PackedWeights> packed;
+};
+
+std::mutex g_pack_mutex;
+std::unordered_map<PackKey, PackEntry, PackKeyHash>& pack_registry() {
+  static auto* registry =
+      new std::unordered_map<PackKey, PackEntry, PackKeyHash>();
+  return *registry;
+}
+
+void prune_expired_locked() {
+  auto& registry = pack_registry();
+  for (auto it = registry.begin(); it != registry.end();) {
+    if (it->second.packed.expired()) {
+      it = registry.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const PackedWeights> PackedWeights::shared_for(
+    const std::shared_ptr<const CompressedNM>& B, index_t ks, index_t ns,
+    IndexKind kind) {
+  NMSPMM_CHECK(B != nullptr);
+  const PackKey key{B.get(), ks, ns, static_cast<int>(kind)};
+  {
+    std::lock_guard lock(g_pack_mutex);
+    auto& registry = pack_registry();
+    if (auto it = registry.find(key); it != registry.end()) {
+      auto weights = it->second.weights.lock();
+      auto packed = it->second.packed.lock();
+      // Alive and still the same object (address reuse implies the old
+      // owner died first, which would have expired the weak_ptr).
+      if (weights == B && packed != nullptr) return packed;
+      registry.erase(it);
+    }
+  }
+
+  // Build outside the lock — packing is O(weights) and must not stall
+  // concurrent plan builds for other matrices. Racing builders for one
+  // key are rare (plan_for already dedups most); the loser's copy is
+  // dropped in favor of the first insert.
+  auto packed = std::make_shared<const PackedWeights>(build(*B, ks, ns, kind));
+
+  std::lock_guard lock(g_pack_mutex);
+  auto& registry = pack_registry();
+  if (auto it = registry.find(key); it != registry.end()) {
+    auto weights = it->second.weights.lock();
+    if (auto existing = it->second.packed.lock();
+        existing != nullptr && weights == B) {
+      return existing;
+    }
+    registry.erase(it);
+  }
+  if (registry.size() >= 256) prune_expired_locked();
+  registry.emplace(key, PackEntry{B, packed});
+  return packed;
+}
+
+}  // namespace nmspmm

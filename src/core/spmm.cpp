@@ -73,12 +73,14 @@ SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
   }
   if (options.variant == KernelVariant::kV2) plan.use_packing_ = true;
 
-  // Offline pre-processing (Listing 3 lines 2-6 / resolve_indices).
-  if (plan.use_packing_) {
-    plan.col_info_ = build_col_info(w, plan.params_.ks, plan.params_.ns);
-  }
-  if (options.variant == KernelVariant::kV3 && !plan.use_packing_) {
-    plan.resolved_ = resolve_indices(w);
+  // Offline pre-processing, all folded into the plan-time pre-packed
+  // weights (Listing 3 lines 2-6 collapse into PackedWeights::build):
+  // tile-resident B' plus flattened index streams, interned so every
+  // batch-size bucket of one weight matrix shares a single packed form.
+  if (options.variant != KernelVariant::kReference) {
+    plan.packed_ = PackedWeights::shared_for(
+        plan.weights_, plan.params_.ks, plan.params_.ns,
+        packed_kind_for(options.variant, plan.use_packing_));
   }
   return plan;
 }
@@ -110,15 +112,13 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C) const {
         spmm_reference(A, B, C, options_.rescale);
         return Status::Ok();
       case KernelVariant::kV1:
-        spmm_v1(A, B, C, params_, pool);
+        spmm_v1(A, B, C, params_, *packed_, pool);
         break;
       case KernelVariant::kV2:
-        spmm_v2(A, B, C, params_, *col_info_, pool);
+        spmm_v2(A, B, C, params_, *packed_, pool);
         break;
       case KernelVariant::kV3:
-        spmm_v3(A, B, C, params_, use_packing_,
-                col_info_ ? &*col_info_ : nullptr,
-                resolved_ ? &*resolved_ : nullptr, pool);
+        spmm_v3(A, B, C, params_, use_packing_, *packed_, pool);
         break;
     }
     if (options_.rescale) {
@@ -138,7 +138,7 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C) const {
 }
 
 double SpmmPlan::packing_ratio() const {
-  return col_info_ ? col_info_->mean_packing_ratio() : 1.0;
+  return packed_ != nullptr ? packed_->mean_packing_ratio() : 1.0;
 }
 
 }  // namespace nmspmm

@@ -29,6 +29,7 @@
 #include "core/col_info.hpp"
 #include "core/kernel_params.hpp"
 #include "core/nm_format.hpp"
+#include "core/packed_weights.hpp"
 #include "core/spmm_kernels.hpp"
 #include "util/thread_pool.hpp"
 
@@ -97,6 +98,14 @@ class SpmmPlan {
       const {
     return weights_;
   }
+  /// The plan-time pre-packed weights this plan executes against (null
+  /// only for the kReference variant). Pre-packed forms are interned:
+  /// plans for different batch-size buckets of the same weights under
+  /// the same blocking share one instance.
+  [[nodiscard]] const std::shared_ptr<const PackedWeights>& packed_weights()
+      const {
+    return packed_;
+  }
   /// col_info packing ratio (1.0 when the plan does not pack).
   [[nodiscard]] double packing_ratio() const;
 
@@ -109,8 +118,7 @@ class SpmmPlan {
   index_t planned_m_ = 0;
   bool use_packing_ = false;
   std::shared_ptr<ThreadPool> pool_;  ///< null: strictly serial execute
-  std::optional<ColInfo> col_info_;
-  std::optional<Matrix<std::int32_t>> resolved_;
+  std::shared_ptr<const PackedWeights> packed_;
 };
 
 /// One-shot convenience wrapper: plan + execute through the process-global

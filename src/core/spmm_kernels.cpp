@@ -18,6 +18,15 @@ const char* to_string(KernelVariant v) {
   return "?";
 }
 
+PackedWeights::IndexKind packed_kind_for(KernelVariant variant,
+                                         bool use_packing) {
+  if (variant == KernelVariant::kV2) return PackedWeights::IndexKind::kRemapped;
+  if (variant == KernelVariant::kV3 && use_packing) {
+    return PackedWeights::IndexKind::kRemapped;
+  }
+  return PackedWeights::IndexKind::kDirect;
+}
+
 namespace {
 
 using detail::APanel;
@@ -34,6 +43,15 @@ struct TileCtx {
   index_t kb = 0;       ///< original-k extent (<= ks)
 };
 
+/// Per-thread reusable A-staging scratch (grow-only, like dense_gemm's
+/// B staging): pool workers are long-lived, so steady-state serving
+/// calls never touch the heap for the A panel either.
+std::vector<float>& worker_a_scratch(std::size_t need) {
+  thread_local std::vector<float> scratch;
+  if (scratch.size() < need) scratch.resize(need);
+  return scratch;
+}
+
 /// The non-packing strategy (Section III-C1): the kernel reads the whole
 /// ks-wide working set of A in place — the CPU cache hierarchy stands in
 /// for the staged shared-memory copy. When the chunk reaches past the
@@ -49,127 +67,55 @@ APanel prepare_a_direct(const TileCtx& t, ConstViewF A, index_t i0,
   return APanel{scratch.data(), lda, 1};
 }
 
-/// Policy for V1: non-packed A, indices resolved from D on the fly
-/// inside the inner kernel.
-struct PolicyV1 {
-  const CompressedNM& B;
+/// Non-packed A addressing over plan-time resident weights: A is read in
+/// place (V1, and V3's moderate-sparsity path with Prefetch on). The
+/// index streams already hold (p/N)*M + D, flattened at pack time.
+template <bool Prefetch>
+struct PolicyResidentDirect {
+  const PackedWeights& packed;
 
-  static constexpr bool kPrefetch = false;
-
-  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
-                   std::vector<float>& scratch, index_t lda) const {
-    return prepare_a_direct(t, A, i0, mb, scratch, lda);
-  }
-
-  /// No per-group preparation; the index functor reads D directly.
-  void prepare_group(const TileCtx&, index_t, index_t,
-                     std::uint16_t*) const {}
-
-  detail::IdxFromD idx_fn(const TileCtx& t, index_t g_global,
-                          const std::uint16_t*) const {
-    return detail::IdxFromD{B.indices.row(t.u0) + g_global, B.indices.ld(),
-                            B.config.n, B.config.m};
-  }
-};
-
-/// Policy for V2: stage only the col_info columns (packing strategy);
-/// indices come from the offline-reordered matrix and already name
-/// packed columns.
-struct PolicyV2 {
-  const CompressedNM& B;
-  const ColInfo& col_info;
-
-  static constexpr bool kPrefetch = false;
-
-  const PackPlan& plan(const TileCtx& t) const {
-    return col_info.plan(t.chunk, t.nblock);
-  }
-
-  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
-                   std::vector<float>& scratch, index_t lda) const {
-    detail::pack_a_cols(A, i0, mb, t.k0, plan(t).cols, scratch.data(), lda);
-    return APanel{scratch.data(), lda, 1};
-  }
-
-  void prepare_group(const TileCtx&, index_t, index_t,
-                     std::uint16_t*) const {}
-
-  detail::IdxFromRemap idx_fn(const TileCtx& t, index_t g_global,
-                              const std::uint16_t*) const {
-    const PackPlan& p = plan(t);
-    const index_t g_base =
-        (t.nblock * col_info.ns()) / B.config.vector_length;
-    return detail::IdxFromRemap{p.remapped.row(0) + (g_global - g_base),
-                                p.remapped.ld()};
-  }
-};
-
-/// Policy for V3 on the packed (high-sparsity) path: like V2 but the
-/// group's index column is hoisted into a contiguous buffer first and
-/// the micro kernel prefetches ahead.
-struct PolicyV3Packed {
-  const CompressedNM& B;
-  const ColInfo& col_info;
-
-  static constexpr bool kPrefetch = true;
-
-  const PackPlan& plan(const TileCtx& t) const {
-    return col_info.plan(t.chunk, t.nblock);
-  }
-
-  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
-                   std::vector<float>& scratch, index_t lda) const {
-    detail::pack_a_cols(A, i0, mb, t.k0, plan(t).cols, scratch.data(), lda);
-    return APanel{scratch.data(), lda, 1};
-  }
-
-  void prepare_group(const TileCtx& t, index_t g_global, index_t,
-                     std::uint16_t* idxbuf) const {
-    const PackPlan& p = plan(t);
-    const index_t g_base =
-        (t.nblock * col_info.ns()) / B.config.vector_length;
-    const std::uint16_t* src = p.remapped.row(0) + (g_global - g_base);
-    const index_t stride = p.remapped.ld();
-    for (index_t i = 0; i < t.wb; ++i) idxbuf[i] = src[i * stride];
-  }
-
-  detail::IdxFromBuffer idx_fn(const TileCtx&, index_t,
-                               const std::uint16_t* idxbuf) const {
-    return detail::IdxFromBuffer{idxbuf};
-  }
-};
-
-/// Policy for V3 on the non-packed (moderate-sparsity) path: direct A
-/// reads like V1, but with indices pre-resolved offline and hoisted per
-/// group (Listing 4's register prefetch of Ds).
-struct PolicyV3NonPacked {
-  const CompressedNM& B;
-  const Matrix<std::int32_t>& resolved;
-
-  static constexpr bool kPrefetch = true;
+  static constexpr bool kPrefetch = Prefetch;
 
   APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
                    std::vector<float>& scratch, index_t lda) const {
     return prepare_a_direct(t, A, i0, mb, scratch, lda);
   }
 
-  void prepare_group(const TileCtx& t, index_t g_global, index_t,
-                     std::uint16_t* idxbuf) const {
-    for (index_t i = 0; i < t.wb; ++i)
-      idxbuf[i] = static_cast<std::uint16_t>(resolved(t.u0 + i, g_global) -
-                                             t.k0);
+  detail::IdxFromBuffer idx_fn(const TileCtx& t, index_t g) const {
+    return detail::IdxFromBuffer{
+        packed.tile_index_stream(t.chunk, t.nblock, g)};
+  }
+};
+
+/// Packing-strategy addressing over plan-time resident weights: A is
+/// gathered through the tile's col_info columns (V2, and V3's
+/// high-sparsity path with Prefetch on). The index streams hold packed
+/// panel positions, flattened from the reordered index matrix.
+template <bool Prefetch>
+struct PolicyResidentPacked {
+  const PackedWeights& packed;
+
+  static constexpr bool kPrefetch = Prefetch;
+
+  APanel prepare_a(const TileCtx& t, ConstViewF A, index_t i0, index_t mb,
+                   std::vector<float>& scratch, index_t lda) const {
+    detail::pack_a_cols(A, i0, mb, t.k0,
+                        packed.tile_cols(t.chunk, t.nblock), scratch.data(),
+                        lda);
+    return APanel{scratch.data(), lda, 1};
   }
 
-  detail::IdxFromBuffer idx_fn(const TileCtx&, index_t,
-                               const std::uint16_t* idxbuf) const {
-    return detail::IdxFromBuffer{idxbuf};
+  detail::IdxFromBuffer idx_fn(const TileCtx& t, index_t g) const {
+    return detail::IdxFromBuffer{
+        packed.tile_index_stream(t.chunk, t.nblock, g)};
   }
 };
 
 /// Run the strip decomposition of one (group-segment x m-tile): full
 /// kMicroM x kMicroN tiles on the fast path, runtime-bounded tails at the
-/// ragged edges.
-template <bool Prefetch, class IdxFn>
+/// ragged edges. @p Accumulate false (first k-chunk) stores instead of
+/// adds — the fused C zero-fill.
+template <bool Prefetch, bool Accumulate, class IdxFn>
 void run_segment(index_t wb, APanel a, const float* bpack, index_t ldb,
                  index_t b_off, const IdxFn& idx_proto, index_t mb,
                  float* c_block, index_t ldc, index_t seg_off,
@@ -187,43 +133,51 @@ void run_segment(index_t wb, APanel a, const float* bpack, index_t ldb,
       const float* b = bpack + b_off + j;
       IdxFn idx = idx_proto;  // fresh (possibly stateful) index stream
       if (mt == kMicroM && jw == 16) {
-        detail::micro_kernel<kMicroM, 16, Prefetch>(wb, a_tile, b, ldb, idx,
-                                                    c, ldc);
+        detail::micro_kernel<kMicroM, 16, Prefetch, Accumulate>(
+            wb, a_tile, b, ldb, idx, c, ldc);
       } else if (mt == kMicroM && jw == 8) {
-        detail::micro_kernel<kMicroM, 8, Prefetch>(wb, a_tile, b, ldb, idx,
-                                                   c, ldc);
+        detail::micro_kernel<kMicroM, 8, Prefetch, Accumulate>(
+            wb, a_tile, b, ldb, idx, c, ldc);
       } else if (mt == kMicroM && jw == 4) {
-        detail::micro_kernel<kMicroM, 4, Prefetch>(wb, a_tile, b, ldb, idx,
-                                                   c, ldc);
+        detail::micro_kernel<kMicroM, 4, Prefetch, Accumulate>(
+            wb, a_tile, b, ldb, idx, c, ldc);
       } else {
-        detail::micro_kernel_tail(wb, a_tile, b, ldb, idx, mt,
-                                  static_cast<int>(jw), c, ldc);
+        detail::micro_kernel_tail<Accumulate>(wb, a_tile, b, ldb, idx, mt,
+                                              static_cast<int>(jw), c, ldc);
       }
       j += jw;
     }
   }
 }
 
-/// Shared blocked driver (Listing 1 structure): loop n-blocks, k-chunks,
-/// m-blocks; stage Bs once per (n-block, chunk), prepare A per m-block;
-/// iterate pruning-window column groups inside.
+/// Blocked driver (Listing 1 structure) over plan-time resident weights:
+/// loop n-blocks, k-chunks, m-blocks; the Bs tile is already resident in
+/// the PackedWeights (tile-major, execution order — a pure linear read),
+/// A is prepared per m-block, and index streams are consumed directly
+/// from the packed form. The k-chunk 0 pass stores (beta = 0) instead of
+/// accumulating, fusing the former C zero-fill pass into the first
+/// micro-kernel stores.
 ///
 /// Parallelism: a null @p pool runs the nest serially. With a pool, the
 /// driver picks the partitioning axis — m-blocks when there are enough
 /// of them to occupy every worker (large batches), otherwise whole
-/// n-blocks per worker with worker-private Bs staging (small batches,
-/// wide outputs: the serving shape). Either way each worker writes a
-/// disjoint region of C and computes every element with the same
-/// accumulation order as the serial nest, so output is bit-exact
-/// regardless of thread count.
+/// n-blocks per worker (small batches, wide outputs: the serving shape).
+/// Either way each worker writes a disjoint region of C and computes
+/// every element with the same accumulation order as the serial nest, so
+/// output is bit-exact regardless of thread count.
 template <class Policy>
 void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
-                  const BlockingParams& prm, const Policy& policy,
-                  ThreadPool* pool) {
+                  const BlockingParams& prm, const PackedWeights& packed,
+                  const Policy& policy, ThreadPool* pool) {
   const NMConfig& cfg = B.config;
   NMSPMM_CHECK(A.cols() == B.orig_rows);
   NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
   validate_params(prm, cfg, static_cast<std::size_t>(-1), A.cols());
+  NMSPMM_CHECK_MSG(packed.matches(B, prm),
+                   "PackedWeights was built for ks=" << packed.ks()
+                       << " ns=" << packed.ns()
+                       << " (or different weights) but kernel uses "
+                       << prm.to_string());
 
   const index_t m = A.rows();
   const index_t n = B.cols;
@@ -237,13 +191,7 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
   // Staged A panels are row-major: row stride covers a full chunk depth.
   const index_t lda = static_cast<index_t>(round_up(
       static_cast<std::size_t>(prm.ks), 16));
-  const index_t ldb = static_cast<index_t>(round_up(
-      static_cast<std::size_t>(prm.ns), 16));
-
-  parallel_for(pool, 0, m, [&](index_t lo, index_t hi) {
-    for (index_t r = lo; r < hi; ++r)
-      std::fill_n(C.row(r), n, 0.0f);
-  });
+  const index_t ldb = packed.ldb();
 
   auto make_tile = [&](index_t nb, index_t chunk) {
     TileCtx t;
@@ -257,11 +205,13 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
   };
 
   // One tile's worth of m-blocks [mb_lo, mb_hi): prepare A per m-block,
-  // then walk the pruning-window column groups of the n-block.
+  // then walk the pruning-window column groups of the n-block against
+  // the resident Bs tile and its flattened index streams.
   auto run_tile = [&](const TileCtx& t, index_t j0, index_t jb,
-                      const float* bpack, index_t mb_lo, index_t mb_hi,
-                      std::vector<float>& a_scratch,
-                      std::uint16_t* idxbuf) {
+                      index_t mb_lo, index_t mb_hi,
+                      std::vector<float>& a_scratch) {
+    const float* btile = packed.tile_values(t.chunk, t.nblock);
+    const bool accumulate = t.chunk > 0;
     const index_t g0 = j0 / L;
     const index_t g1 = ceil_div(j0 + jb, L);
     for (index_t mb_idx = mb_lo; mb_idx < mb_hi; ++mb_idx) {
@@ -271,79 +221,105 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
       for (index_t g = g0; g < g1; ++g) {
         const index_t seg_lo = std::max(g * L, j0);
         const index_t seg_hi = std::min((g + 1) * L, j0 + jb);
-        policy.prepare_group(t, g, g - g0, idxbuf);
-        auto idx_proto = policy.idx_fn(t, g, idxbuf);
-        run_segment<Policy::kPrefetch>(t.wb, a, bpack, ldb, seg_lo - j0,
-                                       idx_proto, mb, C.row(i0) + j0,
-                                       C.ld(), seg_lo - j0,
-                                       seg_hi - seg_lo);
+        const auto idx_proto = policy.idx_fn(t, g);
+        if (accumulate) {
+          run_segment<Policy::kPrefetch, true>(
+              t.wb, a, btile, ldb, seg_lo - j0, idx_proto, mb,
+              C.row(i0) + j0, C.ld(), seg_lo - j0, seg_hi - seg_lo);
+        } else {
+          run_segment<Policy::kPrefetch, false>(
+              t.wb, a, btile, ldb, seg_lo - j0, idx_proto, mb,
+              C.row(i0) + j0, C.ld(), seg_lo - j0, seg_hi - seg_lo);
+        }
       }
     }
   };
 
+  const std::size_t a_scratch_floats =
+      static_cast<std::size_t>(prm.ms * lda);
   const index_t workers = pool != nullptr ? pool->size() : 1;
   if (workers > 1 && num_mblocks < workers && num_nblocks > 1) {
-    // nc partitioning: each worker owns whole n-blocks and stages its
-    // own Bs panel (worker-private bpack), so no barrier per tile.
+    // nc partitioning: each worker owns whole n-blocks. With resident
+    // weights there is no Bs staging at all — per-worker scratch is just
+    // the (thread-local, reused across calls) A panel.
     parallel_for(pool, 0, num_nblocks, [&](index_t nb_lo, index_t nb_hi) {
-      std::vector<float> bpack_storage(
-          static_cast<std::size_t>(ws_full * ldb));
-      std::vector<float> a_scratch(static_cast<std::size_t>(prm.ms * lda));
-      std::vector<std::uint16_t> idxbuf(static_cast<std::size_t>(ws_full));
+      std::vector<float>& a_scratch = worker_a_scratch(a_scratch_floats);
       for (index_t nb = nb_lo; nb < nb_hi; ++nb) {
         const index_t j0 = nb * prm.ns;
         const index_t jb = std::min(prm.ns, n - j0);
         for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
-          const TileCtx t = make_tile(nb, chunk);
-          detail::pack_b_block(B.values.view(), t.u0, t.wb, j0, jb,
-                               bpack_storage.data(), ldb);
-          run_tile(t, j0, jb, bpack_storage.data(), 0, num_mblocks,
-                   a_scratch, idxbuf.data());
+          run_tile(make_tile(nb, chunk), j0, jb, 0, num_mblocks, a_scratch);
         }
       }
     });
     return;
   }
 
-  // mc partitioning (or serial): Bs staged once per (n-block, chunk) on
-  // the calling thread, m-blocks of the tile split across workers. Worker
-  // scratch (A staging + index buffer) is allocated once per call and
-  // keyed by the parallel_for slot, so the inner tile loop never touches
-  // the heap — the same per-worker storage the nc path uses.
-  std::vector<float> bpack_storage(
-      static_cast<std::size_t>(ws_full * ldb));
-  float* bpack = bpack_storage.data();
-  struct WorkerScratch {
-    std::vector<float> a;
-    std::vector<std::uint16_t> idx;
-  };
-  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(workers));
-  for (WorkerScratch& s : scratch) {
-    s.a.resize(static_cast<std::size_t>(prm.ms * lda));
-    s.idx.resize(static_cast<std::size_t>(ws_full));
-  }
-
+  // mc partitioning (or serial): m-blocks of each tile split across
+  // workers, each reading the same resident Bs tile. A staging is the
+  // executing thread's reusable scratch, so the steady-state serving
+  // path performs zero per-call heap allocation.
   for (index_t nb = 0; nb < num_nblocks; ++nb) {
     const index_t j0 = nb * prm.ns;
     const index_t jb = std::min(prm.ns, n - j0);
     for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
       const TileCtx t = make_tile(nb, chunk);
-      detail::pack_b_block(B.values.view(), t.u0, t.wb, j0, jb, bpack, ldb);
-      parallel_for_slots(pool, 0, num_mblocks,
-                         [&](index_t slot, index_t mb_lo, index_t mb_hi) {
-        WorkerScratch& s = scratch[static_cast<std::size_t>(slot)];
-        run_tile(t, j0, jb, bpack, mb_lo, mb_hi, s.a, s.idx.data());
+      parallel_for(pool, 0, num_mblocks,
+                   [&](index_t mb_lo, index_t mb_hi) {
+        run_tile(t, j0, jb, mb_lo, mb_hi,
+                 worker_a_scratch(a_scratch_floats));
       });
     }
   }
 }
 
+void check_kind(const PackedWeights& packed, PackedWeights::IndexKind kind,
+                const char* who) {
+  NMSPMM_CHECK_MSG(packed.kind() == kind,
+                   who << " needs " << to_string(kind)
+                       << " index streams but PackedWeights holds "
+                       << to_string(packed.kind()));
+}
+
 }  // namespace
 
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, const PackedWeights& packed,
+             ThreadPool* pool) {
+  check_kind(packed, PackedWeights::IndexKind::kDirect, "V1");
+  PolicyResidentDirect<false> policy{packed};
+  spmm_blocked(A, B, C, params, packed, policy, pool);
+}
+
+void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, const PackedWeights& packed,
+             ThreadPool* pool) {
+  check_kind(packed, PackedWeights::IndexKind::kRemapped, "V2");
+  PolicyResidentPacked<false> policy{packed};
+  spmm_blocked(A, B, C, params, packed, policy, pool);
+}
+
+void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, bool use_packing,
+             const PackedWeights& packed, ThreadPool* pool) {
+  if (use_packing) {
+    check_kind(packed, PackedWeights::IndexKind::kRemapped, "V3 (packed)");
+    PolicyResidentPacked<true> policy{packed};
+    spmm_blocked(A, B, C, params, packed, policy, pool);
+  } else {
+    check_kind(packed, PackedWeights::IndexKind::kDirect, "V3 (non-packed)");
+    PolicyResidentDirect<true> policy{packed};
+    spmm_blocked(A, B, C, params, packed, policy, pool);
+  }
+}
+
+// ---- compatibility overloads: pack on the fly, run the resident path.
+
+void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, ThreadPool* pool) {
-  PolicyV1 policy{B};
-  spmm_blocked(A, B, C, params, policy, pool);
+  const PackedWeights packed = PackedWeights::build(
+      B, params.ks, params.ns, PackedWeights::IndexKind::kDirect);
+  spmm_v1(A, B, C, params, packed, pool);
 }
 
 void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
@@ -353,8 +329,10 @@ void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
                    "col_info was built for ks=" << col_info.ks() << " ns="
                        << col_info.ns() << " but kernel uses "
                        << params.to_string());
-  PolicyV2 policy{B, col_info};
-  spmm_blocked(A, B, C, params, policy, pool);
+  const PackedWeights packed = PackedWeights::build(
+      B, params.ks, params.ns, PackedWeights::IndexKind::kRemapped,
+      &col_info);
+  spmm_v2(A, B, C, params, packed, pool);
 }
 
 void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
@@ -366,14 +344,17 @@ void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
     NMSPMM_CHECK_MSG(col_info != nullptr,
                      "V3 packed path requires col_info preprocessing");
     NMSPMM_CHECK(col_info->ks() == params.ks && col_info->ns() == params.ns);
-    PolicyV3Packed policy{B, *col_info};
-    spmm_blocked(A, B, C, params, policy, pool);
+    const PackedWeights packed = PackedWeights::build(
+        B, params.ks, params.ns, PackedWeights::IndexKind::kRemapped,
+        col_info);
+    spmm_v3(A, B, C, params, true, packed, pool);
   } else {
     NMSPMM_CHECK_MSG(resolved != nullptr,
                      "V3 non-packed path requires resolve_indices()");
     NMSPMM_CHECK(resolved->rows() == B.rows());
-    PolicyV3NonPacked policy{B, *resolved};
-    spmm_blocked(A, B, C, params, policy, pool);
+    const PackedWeights packed = PackedWeights::build(
+        B, params.ks, params.ns, PackedWeights::IndexKind::kDirect);
+    spmm_v3(A, B, C, params, false, packed, pool);
   }
 }
 

@@ -1,19 +1,29 @@
 // The optimization ladder of Section III / Figure 7:
 //   V1 — hierarchical blocking (Listings 1-2): cache/register tiling, A
-//        staged in full (non-packing), indices resolved from D inline.
+//        staged in full (non-packing), indices resolved from D.
 //   V2 — V1 + sparsity-aware memory access (Listing 3): A staged through
 //        col_info packing with the offline-reordered index matrix.
-//   V3 — V2 + pipeline design (Listing 4): per-group index hoisting into
-//        a register buffer, software prefetch, and sparsity-aware choice
-//        between the packed (high sparsity) and non-packed (moderate
-//        sparsity) paths.
+//   V3 — V2 + pipeline design (Listing 4): software prefetch and the
+//        sparsity-aware choice between the packed (high sparsity) and
+//        non-packed (moderate sparsity) paths.
 // All kernels overwrite C with A (*) (B, D); correctness oracle is
 // spmm_reference().
+//
+// Every variant executes against a PackedWeights — the plan-time
+// pre-packed form of B' (tile-major resident values + flattened uint16
+// index streams, see core/packed_weights.hpp). The preferred entry
+// points take `const PackedWeights&` built once at plan time, so the
+// serving hot path never re-stages weights: no pack_b_block, no
+// per-group index hoisting, B read as a pure linear stream. The
+// historical signatures remain as thin compatibility overloads that
+// pack on the fly — correct for one-shot calls, but paying the packing
+// cost per call.
 #pragma once
 
 #include "core/col_info.hpp"
 #include "core/kernel_params.hpp"
 #include "core/nm_format.hpp"
+#include "core/packed_weights.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nmspmm {
@@ -22,13 +32,40 @@ enum class KernelVariant { kReference, kV1, kV2, kV3 };
 
 const char* to_string(KernelVariant v);
 
+/// The IndexKind a variant's kernels consume: V1 and V3's non-packed
+/// path address A directly (kDirect); V2 and V3's packed path address
+/// the col_info panel (kRemapped).
+PackedWeights::IndexKind packed_kind_for(KernelVariant variant,
+                                         bool use_packing);
+
 // Every kernel takes an optional ThreadPool. A null pool runs the exact
 // serial loop nest (the bit-exact reference ordering); a pool partitions
 // the outer block loops — m-blocks when the batch provides enough of
-// them, n-blocks (each worker staging its own Bs panel) for the small-m
-// serving shapes where m-blocks alone cannot feed every worker. Both
-// partitionings preserve the per-element accumulation order, so results
-// are bit-exact across thread counts.
+// them, n-blocks for the small-m serving shapes where m-blocks alone
+// cannot feed every worker. Both partitionings preserve the per-element
+// accumulation order, so results are bit-exact across thread counts.
+
+/// @p packed must have been built from @p B with kDirect and the same
+/// (ks, ns) as @p params.
+void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, const PackedWeights& packed,
+             ThreadPool* pool = nullptr);
+
+/// @p packed must have been built from @p B with kRemapped and the same
+/// (ks, ns) as @p params.
+void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, const PackedWeights& packed,
+             ThreadPool* pool = nullptr);
+
+/// @p use_packing selects the high-sparsity packed pipeline or the
+/// moderate-sparsity non-packed pipeline; @p packed's kind must match
+/// (kRemapped when packing, kDirect otherwise).
+void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
+             const BlockingParams& params, bool use_packing,
+             const PackedWeights& packed, ThreadPool* pool = nullptr);
+
+// ---- compatibility overloads: pre-pack on the fly, then run the
+// resident path. One-shot callers only; plans/engines pre-pack once.
 
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, ThreadPool* pool = nullptr);
@@ -40,7 +77,9 @@ void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
 
 /// @p use_packing selects the high-sparsity packed pipeline (requires
 /// @p col_info) or the moderate-sparsity non-packed pipeline (requires
-/// @p resolved from resolve_indices()).
+/// @p resolved from resolve_indices(); its content is subsumed by the
+/// on-the-fly pre-packing, but the argument is validated for
+/// compatibility).
 void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, bool use_packing,
              const ColInfo* col_info,

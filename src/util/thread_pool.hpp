@@ -87,10 +87,11 @@ void parallel_for(ThreadPool* pool, std::int64_t begin, std::int64_t end,
                   std::int64_t min_grain = 1);
 
 /// As parallel_for, but the body also receives its chunk slot, a value in
-/// [0, pool->size()) distinct for every chunk of one call. Callers use it
-/// to hand each concurrently running chunk a private scratch buffer that
-/// lives across repeated calls — no per-task heap allocation on hot
-/// loops (the kernels' per-worker A staging / index buffers).
+/// [0, pool->size()) distinct for every chunk of one call. Callers can
+/// use it to hand each concurrently running chunk a private scratch
+/// buffer. (The kernels themselves now reach scratch through
+/// thread_local storage instead — plan-time pre-packing left them no
+/// per-tile staging — so this is a general-purpose utility.)
 void parallel_for_slots(
     ThreadPool* pool, std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t slot, std::int64_t lo,
