@@ -37,6 +37,27 @@ std::string json_escape_free(double v) {
   return buf;
 }
 
+/// CPU model string (Linux), so the perf-trend gate knows whether two
+/// artifacts came from comparable hardware: absolute GFLOP/s only gate
+/// hard against a baseline from the same CPU class.
+std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto pos = line.find("model name");
+    if (pos == std::string::npos) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::string name = line.substr(colon + 1);
+    while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+    for (char& c : name) {
+      if (c == '"' || c == '\\') c = ' ';  // keep the JSON trivially valid
+    }
+    return name;
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,7 +136,8 @@ int main(int argc, char** argv) {
   }
   os << "{\n"
      << "  \"bench\": \"bench_resident\",\n"
-     << "  \"schema_version\": 1,\n"
+     << "  \"schema_version\": 2,\n"
+     << "  \"cpu\": \"" << cpu_model() << "\",\n"
      << "  \"shape\": {\"m\": " << m << ", \"n\": " << n << ", \"k\": " << k
      << ", \"sparsity\": " << cfg.sparsity()
      << ", \"L\": " << cfg.vector_length << "},\n"

@@ -4,8 +4,15 @@
 //
 //   gate = A * Wg;  up = A * Wu;  h = silu(gate) (.) up;  out = h * Wd
 //
-// All three projections run through NM-SpMM plans; the dense pipeline is
-// timed for comparison and the final hidden-state deviation is reported.
+// The block runs through the model layer (src/model/ffn.hpp): one
+// Engine::plan_model call plans all three projections, and
+// ModelPlan::run executes them with the silu(gate) (.) up fusion in the
+// up-projection's epilogue and plan-time activation scratch — no
+// intermediate allocations, no separate activation pass. The unfused
+// pipeline (three engine.spmm calls plus a scalar silu_mul loop — what
+// this example used to hand-roll) and the dense pipeline are timed for
+// comparison.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -23,8 +30,7 @@ void silu_mul(MatrixF& gate, const MatrixF& up) {
     float* g = gate.row(i);
     const float* u = up.row(i);
     for (index_t j = 0; j < gate.cols(); ++j) {
-      const float x = g[j];
-      g[j] = x / (1.0f + std::exp(-x)) * u[j];
+      g[j] = apply_activation(Activation::kSilu, g[j]) * u[j];
     }
   }
 }
@@ -50,31 +56,48 @@ int main(int argc, char** argv) {
               static_cast<long long>(tokens), static_cast<long long>(hidden),
               static_cast<long long>(ffn), config.to_string().c_str());
 
-  // Offline: prune + compress each projection; the engine plans each
-  // weight matrix on first use and reuses the plans for later batches.
+  // Offline: prune + compress each projection, then plan the whole block
+  // as one unit — per-layer plans out of the engine's cache, activation
+  // scratch sized once, silu fused into the up-projection's stores.
   Timer prep;
-  const auto wg = std::make_shared<const CompressedNM>(
+  model::FfnBlock block;
+  block.gate = std::make_shared<const CompressedNM>(
       compress(Wg.view(), magnitude_mask(Wg.view(), config)));
-  const auto wu = std::make_shared<const CompressedNM>(
+  block.up = std::make_shared<const CompressedNM>(
       compress(Wu.view(), magnitude_mask(Wu.view(), config)));
-  const auto wd = std::make_shared<const CompressedNM>(
+  block.down = std::make_shared<const CompressedNM>(
       compress(Wd.view(), magnitude_mask(Wd.view(), config)));
+  block.act = Activation::kSilu;
   Engine engine;
-  std::printf("offline pruning + compression: %.1f ms\n", prep.millis());
+  auto plan = engine.plan_model(tokens, {block});
+  NMSPMM_CHECK_OK(plan.status());
+  std::printf("offline pruning + compression + model plan: %.1f ms\n",
+              prep.millis());
 
-  MatrixF gate(tokens, ffn), up(tokens, ffn), out(tokens, hidden);
-
-  // Warm the plan cache (first call per weight matrix plans).
-  NMSPMM_CHECK_OK(engine.spmm(A.view(), wg, gate.view()));
-  NMSPMM_CHECK_OK(engine.spmm(A.view(), wu, up.view()));
-  NMSPMM_CHECK_OK(engine.spmm(gate.view(), wd, out.view()));
-
-  Timer sparse_t;
-  NMSPMM_CHECK_OK(engine.spmm(A.view(), wg, gate.view()));
-  NMSPMM_CHECK_OK(engine.spmm(A.view(), wu, up.view()));
-  silu_mul(gate, up);
-  NMSPMM_CHECK_OK(engine.spmm(gate.view(), wd, out.view()));
-  const double sparse_ms = sparse_t.millis();
+  // Fused vs unfused (three engine calls + a separate silu_mul pass —
+  // the pre-model-layer workflow), timed as interleaved pairs with
+  // best-of per side so a background load spike cannot decide the
+  // comparison.
+  MatrixF out(tokens, hidden);
+  MatrixF gate(tokens, ffn), up(tokens, ffn), out_u(tokens, hidden);
+  auto run_fused = [&] { NMSPMM_CHECK_OK((*plan)->run(A.view(), out.view())); };
+  auto run_unfused = [&] {
+    NMSPMM_CHECK_OK(engine.spmm(A.view(), block.gate, gate.view()));
+    NMSPMM_CHECK_OK(engine.spmm(A.view(), block.up, up.view()));
+    silu_mul(gate, up);
+    NMSPMM_CHECK_OK(engine.spmm(gate.view(), block.down, out_u.view()));
+  };
+  run_fused();
+  run_unfused();  // warm plans, scratch, and page tables
+  double fused_ms = 1e300, unfused_ms = 1e300;
+  for (int pair = 0; pair < 5; ++pair) {
+    Timer fused_t;
+    run_fused();
+    fused_ms = std::min(fused_ms, fused_t.millis());
+    Timer unfused_t;
+    run_unfused();
+    unfused_ms = std::min(unfused_ms, unfused_t.millis());
+  }
 
   MatrixF gate_d(tokens, ffn), up_d(tokens, ffn), out_d(tokens, hidden);
   Timer dense_t;
@@ -84,20 +107,29 @@ int main(int argc, char** argv) {
   gemm_blocked(gate_d.view(), Wd.view(), out_d.view());
   const double dense_ms = dense_t.millis();
 
-  std::printf("FFN forward: sparse %.2f ms vs dense %.2f ms -> %.2fx\n",
-              sparse_ms, dense_ms, dense_ms / sparse_ms);
-  std::printf("hidden-state mean deviation (Eq. 2): %.5f\n",
+  std::printf(
+      "FFN forward: fused model plan %.2f ms vs unfused 3-call %.2f ms "
+      "(%.2fx) vs dense %.2f ms (%.2fx)\n",
+      fused_ms, unfused_ms, unfused_ms / fused_ms, dense_ms,
+      dense_ms / fused_ms);
+  std::printf("fused vs unfused max deviation: %.3g (same plans, fused "
+              "epilogue)\n",
+              max_abs_diff(out_u.cview(), out.cview()));
+  std::printf("hidden-state mean deviation vs dense (Eq. 2): %.5f\n",
               approximation_error(out_d.view(), out.view()));
-  std::printf("weight memory: %.1f MB dense -> %.1f MB compressed\n",
-              static_cast<double>(2 * hidden * ffn + ffn * hidden) *
-                  sizeof(float) / 1e6,
-              static_cast<double>(wg->footprint_bytes() +
-                                  wu->footprint_bytes() +
-                                  wd->footprint_bytes()) /
-                  1e6);
-  const auto stats = engine.cache_stats();
+
+  const model::ModelPlan::Stats stats = (*plan)->stats();
+  std::printf(
+      "resident model memory: %.1f MB dense -> %.1f MB compressed + %.1f MB "
+      "packed + %.1f MB scratch\n",
+      static_cast<double>(2 * hidden * ffn + ffn * hidden) * sizeof(float) /
+          1e6,
+      static_cast<double>(stats.weight_bytes) / 1e6,
+      static_cast<double>(stats.packed_bytes) / 1e6,
+      static_cast<double>(stats.scratch_bytes) / 1e6);
+  const auto cache = engine.cache_stats();
   std::printf("engine: %zu cached plan(s), %llu hit(s) / %llu miss(es)\n",
-              stats.size, static_cast<unsigned long long>(stats.hits),
-              static_cast<unsigned long long>(stats.misses));
+              cache.size, static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
   return 0;
 }

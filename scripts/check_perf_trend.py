@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf-trend gate: diff a fresh BENCH_spmm.json against the checked-in one.
+
+Fails (exit 1) on a >threshold GFLOP/s regression for any kernel variant
+— the compute hot path must not rot. Serving decode throughput and the
+model-layer timings are compared warn-only: they are wall-clock numbers
+on shared runners and too noisy to gate on.
+
+Shapes/threads must match between the two artifacts for the comparison
+to mean anything; on mismatch the script warns and skips (exit 0) so a
+deliberate bench re-parameterization doesn't hard-fail CI — land the
+regenerated baseline in the same change.
+
+Usage: check_perf_trend.py <baseline.json> <fresh.json> [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated fractional GFLOP/s drop")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if base.get("shape") != fresh.get("shape") or \
+       base.get("threads") != fresh.get("threads"):
+        print(f"WARN: shape/threads differ between {args.baseline} "
+              f"({base.get('shape')}, threads={base.get('threads')}) and "
+              f"{args.fresh} ({fresh.get('shape')}, "
+              f"threads={fresh.get('threads')}); skipping trend check — "
+              "regenerate and commit the baseline artifact.")
+        return 0
+
+    # Absolute GFLOP/s only gate hard when both artifacts verifiably come
+    # from the same CPU class; across machines (or when the model string
+    # could not be read — "unknown" never matches) everything is advisory.
+    same_cpu = (base.get("cpu") == fresh.get("cpu") and base.get("cpu")
+                and base.get("cpu") != "unknown")
+    if not same_cpu:
+        print(f"WARN: baseline CPU ({base.get('cpu')}) != this machine "
+              f"({fresh.get('cpu')}); regressions reported warn-only. "
+              "Commit a baseline from this runner class to arm the gate.")
+
+    failures = []
+
+    base_variants = {v["variant"]: v for v in base.get("variants", [])}
+    for v in fresh.get("variants", []):
+        name = v["variant"]
+        if name not in base_variants:
+            print(f"WARN: variant {name} has no baseline; skipping")
+            continue
+        was, now = base_variants[name]["gflops"], v["gflops"]
+        if was <= 0:
+            continue
+        delta = (now - was) / was
+        line = f"{name}: {was:.2f} -> {now:.2f} GFLOP/s ({delta:+.1%})"
+        if delta < -args.threshold and same_cpu:
+            failures.append(line)
+            print(f"FAIL {line}")
+        elif delta < -args.threshold:
+            print(f"WARN {line} [cross-machine, warn-only]")
+        else:
+            print(f"ok   {line}")
+
+    # Warn-only comparisons: wall-clock serving/model numbers on shared
+    # runners swing too much to gate the build on.
+    bs, fs = base.get("serving", {}), fresh.get("serving", {})
+    if bs.get("requests_per_s") and fs.get("requests_per_s"):
+        was, now = bs["requests_per_s"], fs["requests_per_s"]
+        delta = (now - was) / was
+        tag = "WARN" if delta < -args.threshold else "ok  "
+        print(f"{tag} decode serving: {was:.0f} -> {now:.0f} requests/s "
+              f"({delta:+.1%}) [warn-only]")
+
+    bm, fm = base.get("model", {}), fresh.get("model", {})
+    if bm.get("fused_ms") and fm.get("fused_ms"):
+        was, now = bm["fused_ms"], fm["fused_ms"]
+        delta = (now - was) / was  # lower is better for ms
+        tag = "WARN" if delta > args.threshold else "ok  "
+        print(f"{tag} model fused FFN: {was:.2f} -> {now:.2f} ms "
+              f"({delta:+.1%}) [warn-only]")
+    if fm.get("fused_speedup") is not None:
+        tag = "ok  " if fm["fused_speedup"] >= 1.0 else "WARN"
+        print(f"{tag} model fused vs unfused: {fm['fused_speedup']:.3f}x "
+              "[warn-only]")
+
+    if failures:
+        print(f"\n{len(failures)} variant(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nperf trend OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

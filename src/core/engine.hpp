@@ -26,12 +26,18 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/spmm.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nmspmm {
+
+namespace model {
+struct FfnBlock;
+class ModelPlan;
+}  // namespace model
 
 struct EngineOptions {
   /// Worker threads shared by every plan this engine builds.
@@ -77,6 +83,19 @@ class Engine {
   /// the shared_ptr.
   StatusOr<std::shared_ptr<const SpmmPlan>> plan_for(
       index_t m, std::shared_ptr<const CompressedNM> B,
+      SpmmOptions options = {});
+
+  /// Plan a chain of FFN blocks (src/model/ffn.hpp) as one executable
+  /// unit serving up to @p max_tokens activation rows: per-layer plans
+  /// come from this engine's plan cache (sharing interned PackedWeights
+  /// and the worker pool), the gating activation is fused into the
+  /// up-projection's epilogue, and all activation scratch is sized here,
+  /// so ModelPlan::run never allocates. @p options seeds every layer's
+  /// SpmmOptions (variant, packing, params); its epilogue member must be
+  /// inactive — the model layer owns the epilogues. Defined in
+  /// src/model/ffn.cpp.
+  StatusOr<std::shared_ptr<model::ModelPlan>> plan_model(
+      index_t max_tokens, std::vector<model::FfnBlock> blocks,
       SpmmOptions options = {});
 
   struct CacheStats {

@@ -1,0 +1,68 @@
+#include "core/epilogue.hpp"
+
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace nmspmm {
+
+const char* to_string(Activation act) {
+  switch (act) {
+    case Activation::kNone: return "none";
+    case Activation::kSilu: return "silu";
+    case Activation::kGelu: return "gelu";
+  }
+  return "?";
+}
+
+std::size_t hash_value(const EpilogueSpec& spec) {
+  std::size_t h = static_cast<std::size_t>(spec.act);
+  hash_combine(h, spec.bias ? 1u : 0u);
+  hash_combine(h, spec.mul ? 1u : 0u);
+  hash_combine(h, spec.act_on_other ? 1u : 0u);
+  return h;
+}
+
+Status validate_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
+                         index_t m, index_t n) {
+  if (spec.act_on_other && !spec.mul) {
+    return Status::InvalidArgument(
+        "epilogue act_on_other requires mul (there is no other operand to "
+        "activate)");
+  }
+  if (spec.bias && args.bias == nullptr) {
+    return Status::InvalidArgument(
+        "epilogue spec requires a bias but EpilogueArgs::bias is null");
+  }
+  if (spec.mul) {
+    if (args.other.empty()) {
+      return Status::InvalidArgument(
+          "epilogue spec requires a second operand but EpilogueArgs::other "
+          "is empty");
+    }
+    if (args.other.rows() != m || args.other.cols() != n) {
+      std::ostringstream os;
+      os << "epilogue operand is " << args.other.rows() << "x"
+         << args.other.cols() << " but must match C (" << m << "x" << n
+         << ")";
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  return Status::Ok();
+}
+
+void apply_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
+                    ViewF C) {
+  if (!spec.active()) return;
+  NMSPMM_CHECK_OK(validate_epilogue(spec, args, C.rows(), C.cols()));
+  const detail::EpilogueApply epi = detail::EpilogueApply::root(spec, args);
+  // Row blocks of 8: enough concurrent activation chains to hide their
+  // latency (see apply_tile) while keeping the sweep cache-friendly.
+  for (index_t i0 = 0; i0 < C.rows(); i0 += 8) {
+    epi.shifted(i0, 0).apply_tile(std::min<index_t>(8, C.rows() - i0),
+                                  C.row(i0), C.ld(),
+                                  static_cast<int>(C.cols()));
+  }
+}
+
+}  // namespace nmspmm

@@ -1,0 +1,436 @@
+// Epilogue fusion: elementwise post-ops applied in the last k-chunk's
+// micro-kernel stores.
+//
+// Chained sparse layers (the SwiGLU FFN the paper's introduction
+// motivates) never run a projection alone: the output immediately gets a
+// bias, an activation, or an elementwise product with a sibling
+// projection. Running those as separate passes re-reads and re-writes
+// the whole C matrix after the SpMM already had it hot in registers.
+// The blocked driver instead applies the epilogue while the final
+// k-chunk's tile is still in L1, right after the accumulator store —
+// the same fusion trick as the beta=0 zero-fill (the Accumulate hook).
+//
+// The epilogue is split in two, mirroring plan/execute:
+//  - EpilogueSpec is *structural* — which ops the stores apply. It lives
+//    in SpmmOptions, is hashable, and keys the plan cache.
+//  - EpilogueArgs carries the *operands* (bias pointer, second matrix)
+//    and is passed per execute() like A and C, so one cached plan serves
+//    any operand instance.
+//
+// Semantics, per element (i, j) of the fully accumulated product acc:
+//    v = acc + (spec.bias ? bias[j] : 0)
+//    if !spec.act_on_other:  v = act(v);        if (spec.mul) v *= other[i][j]
+//    if  spec.act_on_other:  v *= act(other[i][j])   // e.g. silu(gate) (.) up
+//    C[i][j] = v
+// apply_epilogue() is the unfused reference implementation of exactly
+// this recipe; the fused kernels must match it bit-for-bit because both
+// run the same scalar ops on the same accumulated values.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/matrix.hpp"
+
+#if defined(__SSE__) || defined(__AVX__)
+#include <immintrin.h>
+#endif
+
+namespace nmspmm {
+
+/// Activation functions the epilogue can apply.
+enum class Activation : std::uint8_t { kNone, kSilu, kGelu };
+
+const char* to_string(Activation act);
+
+// The scalar activation helpers are deliberately opaque to the inliner:
+// GCC's default fp-contract=fast may otherwise fuse a caller-side
+// mul/add pair across the inlined boundary (e.g. the final p*scale of
+// fast_exp with silu's 1.0f + ...), producing values a ulp away from
+// the explicit-intrinsic vector paths. A call boundary pins the scalar
+// sequence to exactly the ops the vector lanes execute, keeping every
+// path bit-identical. Scalar calls only happen on ragged tails and in
+// the unfused reference, so the cost is irrelevant.
+#if defined(__GNUC__) || defined(__clang__)
+#define NMSPMM_NO_INLINE __attribute__((noinline))
+#else
+#define NMSPMM_NO_INLINE
+#endif
+
+/// Branch-free exp(x) (relative error < 4e-6 over the float range,
+/// saturating at the overflow/underflow ends). The epilogue runs inside
+/// the micro-kernel's store section, where a libm exp call would spill
+/// every live SIMD register and block auto-vectorization — this
+/// formulation (floor + degree-5 polynomial in explicit fma + exponent
+/// bit splice) compiles to straight-line vector code. std::fma keeps
+/// scalar and vectorized compilations bit-identical per element, which
+/// the fused-vs-unfused bit-exactness tests rely on.
+inline NMSPMM_NO_INLINE float fast_exp(float x) {
+  constexpr float kLog2e = 1.4426950408889634f;
+  float t = std::min(std::max(x * kLog2e, -126.0f), 126.0f);
+  const float fl = std::floor(t);
+  const float f = t - fl;  // 2^t = 2^fl * 2^f, f in [0, 1)
+  // Degree-5 minimax polynomial for 2^f on [0, 1).
+  float p = 1.8775767e-3f;
+  p = std::fma(p, f, 8.9893397e-3f);
+  p = std::fma(p, f, 5.5826318e-2f);
+  p = std::fma(p, f, 2.4015361e-1f);
+  p = std::fma(p, f, 6.9315308e-1f);
+  p = std::fma(p, f, 1.0f);
+  const auto e = static_cast<std::int32_t>(fl);
+  return p * std::bit_cast<float>((e + 127) << 23);
+}
+
+/// silu(x) = x * sigmoid(x) — the canonical definition shared by the
+/// fused epilogue and the unfused reference, so both are bit-exact.
+/// Built on fast_exp: ~4e-6 relative deviation from the libm form,
+/// negligible next to the pruning approximation itself.
+inline NMSPMM_NO_INLINE float silu(float x) { return x / (1.0f + fast_exp(-x)); }
+
+/// gelu(x), tanh approximation (the form LLM FFNs actually deploy),
+/// with tanh expressed through fast_exp (saturates correctly at both
+/// ends thanks to fast_exp's clamped range).
+inline NMSPMM_NO_INLINE float gelu(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  const float y = kSqrt2OverPi * std::fma(0.044715f * x, x * x, x);
+  const float e2 = fast_exp(2.0f * y);
+  const float tanh_y = (e2 - 1.0f) / (e2 + 1.0f);
+  return 0.5f * x * (1.0f + tanh_y);
+}
+
+inline float apply_activation(Activation act, float x) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kSilu: return silu(x);
+    case Activation::kGelu: return gelu(x);
+  }
+  return x;
+}
+
+/// Structural half of the epilogue: which ops the last k-chunk's stores
+/// apply. Part of SpmmOptions (hashed into the plan-cache key); the
+/// operand pointers ride in EpilogueArgs per execute() call.
+struct EpilogueSpec {
+  Activation act = Activation::kNone;
+  /// Add a per-column bias (EpilogueArgs::bias, length n) before the
+  /// activation.
+  bool bias = false;
+  /// Multiply by a second m x n operand (EpilogueArgs::other).
+  bool mul = false;
+  /// When true the activation is applied to the *other* operand instead
+  /// of the accumulated value: C = (acc + bias) * act(other). This is the
+  /// SwiGLU shape — the up-projection's stores compute up * silu(gate)
+  /// without a separate pass over either matrix. Requires mul.
+  bool act_on_other = false;
+
+  [[nodiscard]] bool active() const {
+    return act != Activation::kNone || bias || mul;
+  }
+  friend bool operator==(const EpilogueSpec&, const EpilogueSpec&) = default;
+};
+
+std::size_t hash_value(const EpilogueSpec& spec);
+
+/// Runtime operands bound to an EpilogueSpec at execute() time.
+struct EpilogueArgs {
+  /// Per-column bias, length n (required iff spec.bias).
+  const float* bias = nullptr;
+  /// Second elementwise operand, same shape as C (required iff spec.mul).
+  /// Must not alias C: the fused stores write C before reading other.
+  ConstViewF other;
+};
+
+/// Check @p args supplies what @p spec needs for an m x n output; returns
+/// InvalidArgument with a specific message otherwise.
+Status validate_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
+                         index_t m, index_t n);
+
+/// Unfused reference: apply the epilogue recipe as a separate pass over
+/// @p C (which holds the plain accumulated product). The oracle for the
+/// fused path, and the fallback for the kReference kernel variant.
+void apply_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
+                    ViewF C);
+
+namespace detail {
+
+// Vector mirrors of fast_exp / silu / gelu. Every lane executes the
+// exact scalar op sequence (same min/max, same fma chain, same exponent
+// splice), so an element produces the same bits whether it goes through
+// the 16-lane, 8-lane, or scalar path — the epilogue stays bit-exact
+// across tile widths and ISAs while running ~vector-width faster than a
+// libm call (which would also spill the kernel's live SIMD registers).
+
+// GCC 12 leaks a bogus -Wmaybe-uninitialized out of the unmasked AVX-512
+// intrinsics' _mm512_undefined_* merge sources when they inline here
+// (GCC PR105593); silence it for these helpers only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#if defined(__AVX512F__)
+inline __m512 fast_exp16(__m512 x) {
+  __m512 t = _mm512_mul_ps(x, _mm512_set1_ps(1.4426950408889634f));
+  t = _mm512_min_ps(_mm512_max_ps(t, _mm512_set1_ps(-126.0f)),
+                    _mm512_set1_ps(126.0f));
+  const __m512 fl = _mm512_roundscale_ps(
+      t, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  const __m512 f = _mm512_sub_ps(t, fl);
+  __m512 p = _mm512_set1_ps(1.8775767e-3f);
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(8.9893397e-3f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(5.5826318e-2f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(2.4015361e-1f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(6.9315308e-1f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(1.0f));
+  const __m512i e = _mm512_cvttps_epi32(fl);
+  const __m512 scale = _mm512_castsi512_ps(
+      _mm512_slli_epi32(_mm512_add_epi32(e, _mm512_set1_epi32(127)), 23));
+  return _mm512_mul_ps(p, scale);
+}
+
+inline __m512 silu16(__m512 x) {
+  const __m512 nx = _mm512_castsi512_ps(_mm512_xor_si512(
+      _mm512_castps_si512(x), _mm512_set1_epi32(INT32_C(0x80000000))));
+  return _mm512_div_ps(
+      x, _mm512_add_ps(_mm512_set1_ps(1.0f), fast_exp16(nx)));
+}
+
+inline __m512 gelu16(__m512 x) {
+  const __m512 x2 = _mm512_mul_ps(x, x);
+  const __m512 inner =
+      _mm512_fmadd_ps(_mm512_mul_ps(_mm512_set1_ps(0.044715f), x), x2, x);
+  const __m512 y = _mm512_mul_ps(_mm512_set1_ps(0.7978845608028654f), inner);
+  const __m512 e2 = fast_exp16(_mm512_mul_ps(_mm512_set1_ps(2.0f), y));
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 tanh_y =
+      _mm512_div_ps(_mm512_sub_ps(e2, one), _mm512_add_ps(e2, one));
+  return _mm512_mul_ps(_mm512_mul_ps(_mm512_set1_ps(0.5f), x),
+                       _mm512_add_ps(one, tanh_y));
+}
+#endif  // __AVX512F__
+
+#if defined(__AVX2__) && defined(__FMA__)
+inline __m256 fast_exp8(__m256 x) {
+  __m256 t = _mm256_mul_ps(x, _mm256_set1_ps(1.4426950408889634f));
+  t = _mm256_min_ps(_mm256_max_ps(t, _mm256_set1_ps(-126.0f)),
+                    _mm256_set1_ps(126.0f));
+  const __m256 fl =
+      _mm256_round_ps(t, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  const __m256 f = _mm256_sub_ps(t, fl);
+  __m256 p = _mm256_set1_ps(1.8775767e-3f);
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(8.9893397e-3f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(5.5826318e-2f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(2.4015361e-1f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(6.9315308e-1f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f));
+  const __m256i e = _mm256_cvttps_epi32(fl);
+  const __m256 scale = _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_add_epi32(e, _mm256_set1_epi32(127)), 23));
+  return _mm256_mul_ps(p, scale);
+}
+
+inline __m256 silu8(__m256 x) {
+  const __m256 nx = _mm256_castsi256_ps(_mm256_xor_si256(
+      _mm256_castps_si256(x), _mm256_set1_epi32(INT32_C(0x80000000))));
+  return _mm256_div_ps(
+      x, _mm256_add_ps(_mm256_set1_ps(1.0f), fast_exp8(nx)));
+}
+
+inline __m256 gelu8(__m256 x) {
+  const __m256 x2 = _mm256_mul_ps(x, x);
+  const __m256 inner =
+      _mm256_fmadd_ps(_mm256_mul_ps(_mm256_set1_ps(0.044715f), x), x2, x);
+  const __m256 y = _mm256_mul_ps(_mm256_set1_ps(0.7978845608028654f), inner);
+  const __m256 e2 = fast_exp8(_mm256_mul_ps(_mm256_set1_ps(2.0f), y));
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 tanh_y =
+      _mm256_div_ps(_mm256_sub_ps(e2, one), _mm256_add_ps(e2, one));
+  return _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), x),
+                       _mm256_add_ps(one, tanh_y));
+}
+#endif  // __AVX2__ && __FMA__
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+/// No-op epilogue: the default template argument of micro_kernel. With
+/// kActive false the tile hook compiles away entirely.
+struct EpilogueNone {
+  static constexpr bool kActive = false;
+  void apply_tile(index_t /*rows*/, float* /*c*/, index_t /*ldc*/,
+                  int /*width*/) const {}
+  void prefetch(int /*rows*/, int /*width*/) const {}
+  [[nodiscard]] EpilogueNone shifted(index_t /*di*/, index_t /*dj*/) const {
+    return {};
+  }
+};
+
+/// Active epilogue, pre-shifted so its operand pointers align with the
+/// C pointer handed to the micro kernel: row i / column j of the current
+/// tile map to bias[j] and other[i * other_ld + j]. One instantiation
+/// serves every spec: the op flags branch per vector chunk (well
+/// predicted, noise next to the activation math itself).
+struct EpilogueApply {
+  static constexpr bool kActive = true;
+  Activation act = Activation::kNone;
+  bool act_on_other = false;
+  const float* bias = nullptr;   ///< tile-origin column-aligned, or null
+  const float* other = nullptr;  ///< tile-origin element, or null
+  index_t other_ld = 0;
+
+#if defined(__AVX512F__)
+  __m512 finalize16(__m512 v, int j, const float* orow) const {
+    if (bias != nullptr) v = _mm512_add_ps(v, _mm512_loadu_ps(bias + j));
+    if (act_on_other) {
+      __m512 o = _mm512_loadu_ps(orow + j);
+      if (act == Activation::kSilu) o = silu16(o);
+      if (act == Activation::kGelu) o = gelu16(o);
+      return _mm512_mul_ps(v, o);
+    }
+    if (act == Activation::kSilu) v = silu16(v);
+    if (act == Activation::kGelu) v = gelu16(v);
+    if (orow != nullptr) v = _mm512_mul_ps(v, _mm512_loadu_ps(orow + j));
+    return v;
+  }
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+  __m256 finalize8(__m256 v, int j, const float* orow) const {
+    if (bias != nullptr) v = _mm256_add_ps(v, _mm256_loadu_ps(bias + j));
+    if (act_on_other) {
+      __m256 o = _mm256_loadu_ps(orow + j);
+      if (act == Activation::kSilu) o = silu8(o);
+      if (act == Activation::kGelu) o = gelu8(o);
+      return _mm256_mul_ps(v, o);
+    }
+    if (act == Activation::kSilu) v = silu8(v);
+    if (act == Activation::kGelu) v = gelu8(v);
+    if (orow != nullptr) v = _mm256_mul_ps(v, _mm256_loadu_ps(orow + j));
+    return v;
+  }
+#endif
+
+  /// Finalize a freshly stored rows x width tile in place (it is still
+  /// L1-hot: the accumulator stores happened a few cycles ago). The row
+  /// loop is innermost so the tile's rows run their activation chains
+  /// concurrently — the silu/gelu dependency chain is ~100 cycles of
+  /// latency, and a row-at-a-time order would serialize on it (measured
+  /// ~8x slower on 8-row tiles). Every lane and the scalar tail compute
+  /// the identical op sequence, so results don't depend on the path.
+  /// Deliberately NOT inlined into the micro kernel: inlining hoists the
+  /// activation polynomials' ~20 vector constants into registers across
+  /// the whole kernel, starving the FMA loop's accumulators into spills
+  /// (measured ~5% on the up-projection); as a call the constants load
+  /// once per tile, amortized over rows x width elements.
+  NMSPMM_NO_INLINE void apply_tile(index_t rows, float* c, index_t ldc,
+                                   int width) const {
+    int j = 0;
+#if defined(__AVX512F__)
+    for (; j + 16 <= width; j += 16) {
+      for (index_t i = 0; i < rows; ++i) {
+        float* cij = c + i * ldc + j;
+        const float* orow =
+            other != nullptr ? other + i * other_ld : nullptr;
+        _mm512_storeu_ps(cij, finalize16(_mm512_loadu_ps(cij), j, orow));
+      }
+    }
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+    for (; j + 8 <= width; j += 8) {
+      for (index_t i = 0; i < rows; ++i) {
+        float* cij = c + i * ldc + j;
+        const float* orow =
+            other != nullptr ? other + i * other_ld : nullptr;
+        _mm256_storeu_ps(cij, finalize8(_mm256_loadu_ps(cij), j, orow));
+      }
+    }
+#endif
+    for (; j < width; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        const float* orow =
+            other != nullptr ? other + i * other_ld : nullptr;
+        float v = c[i * ldc + j];
+        if (bias != nullptr) v += bias[j];
+        if (act_on_other) {
+          v *= apply_activation(act, orow[j]);
+        } else {
+          v = apply_activation(act, v);
+          if (orow != nullptr) v *= orow[j];
+        }
+        c[i * ldc + j] = v;
+      }
+    }
+  }
+
+  /// Issue prefetches for the tile's slice of the second operand. The
+  /// micro kernel calls this before its FMA loop: `other` is read in
+  /// 64-byte strips with a full-row stride between them — a pattern the
+  /// hardware prefetcher will not cover — so without this the epilogue
+  /// pays a DRAM latency per tile row instead of riding the kernel's
+  /// compute shadow.
+  void prefetch(int rows, int width) const {
+#if defined(__SSE__) || defined(__AVX__)
+    if (other == nullptr) return;
+    for (int i = 0; i < rows; ++i) {
+      const char* row = reinterpret_cast<const char*>(other + i * other_ld);
+      _mm_prefetch(row, _MM_HINT_T0);
+      // An unaligned strip can straddle a line boundary; touching the
+      // last element's line too costs nothing when it is the same line.
+      _mm_prefetch(row + (width - 1) * sizeof(float), _MM_HINT_T0);
+    }
+#else
+    (void)rows;
+    (void)width;
+#endif
+  }
+
+  /// Sweep-prefetch the whole (rows x cols) block of the second operand
+  /// the upcoming m-block will consume. Issued once per m-block of the
+  /// final k-chunk, thousands of cycles ahead of the consuming stores,
+  /// and in address order — so page walks resolve sequentially and the
+  /// per-tile reads land in cache instead of paying a DRAM latency per
+  /// 64-byte strip.
+  void prefetch_block(index_t rows, index_t cols) const {
+#if defined(__SSE__) || defined(__AVX__)
+    if (other == nullptr) return;
+    constexpr index_t kFloatsPerLine = 64 / sizeof(float);
+    for (index_t i = 0; i < rows; ++i) {
+      const float* row = other + i * other_ld;
+      for (index_t j = 0; j < cols; j += kFloatsPerLine) {
+        _mm_prefetch(reinterpret_cast<const char*>(row + j), _MM_HINT_T1);
+      }
+    }
+#else
+    (void)rows;
+    (void)cols;
+#endif
+  }
+
+  /// The epilogue aligned to a sub-tile @p di rows down, @p dj columns
+  /// right of this one's origin (composable, like APanel::shifted_rows).
+  [[nodiscard]] EpilogueApply shifted(index_t di, index_t dj) const {
+    return {act,
+            act_on_other,
+            bias != nullptr ? bias + dj : nullptr,
+            other != nullptr ? other + di * other_ld + dj : nullptr,
+            other_ld};
+  }
+
+  /// Root an EpilogueApply at C's (0, 0) from the validated spec + args.
+  static EpilogueApply root(const EpilogueSpec& spec,
+                            const EpilogueArgs& args) {
+    EpilogueApply e;
+    e.act = spec.act;
+    e.act_on_other = spec.act_on_other;
+    e.bias = spec.bias ? args.bias : nullptr;
+    e.other = spec.mul ? args.other.data() : nullptr;
+    e.other_ld = spec.mul ? args.other.ld() : 0;
+    return e;
+  }
+};
+
+}  // namespace detail
+}  // namespace nmspmm

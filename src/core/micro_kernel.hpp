@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "core/epilogue.hpp"
 #include "util/matrix.hpp"
 
 #if defined(__SSE__) || defined(__AVX__)
@@ -84,12 +85,19 @@ struct IdxFromBuffer {
 /// steps ahead (part of the V3 pipeline). With @p Accumulate false the
 /// tile is stored instead of added (beta = 0), which lets the blocked
 /// driver fuse the C zero-fill into the first k-chunk's stores and drop
-/// one full write+read pass over C per call.
-template <int MT, int NT, bool Prefetch, bool Accumulate = true, class IdxFn>
+/// one full write+read pass over C per call. @p Epi (EpilogueApply on
+/// the final k-chunk, pre-shifted to this tile's C origin) finalizes
+/// the tile right after its stores, while it is still L1-hot —
+/// bias/activation/elementwise-mul never cost a separate pass over C.
+template <int MT, int NT, bool Prefetch, bool Accumulate = true,
+          class Epi = EpilogueNone, class IdxFn>
 inline void micro_kernel(index_t ws, APanel a,
                          const float* NMSPMM_RESTRICT bpack, index_t ldb,
                          IdxFn idx_of, float* NMSPMM_RESTRICT c,
-                         index_t ldc) {
+                         index_t ldc, const Epi& epi = {}) {
+  // Fetch the epilogue's strided second-operand slice under the FMA
+  // loop's compute shadow (see EpilogueApply::prefetch).
+  if constexpr (Epi::kActive) epi.prefetch(MT, NT);
 #if defined(__AVX512F__)
   if constexpr (NT == 16) {
     __m512 acc[MT];
@@ -115,6 +123,7 @@ inline void micro_kernel(index_t ws, APanel a,
         _mm512_storeu_ps(crow, acc[i]);
       }
     }
+    if constexpr (Epi::kActive) epi.apply_tile(MT, c, ldc, NT);
     return;
   }
 #elif defined(__AVX2__) && defined(__FMA__)
@@ -156,6 +165,7 @@ inline void micro_kernel(index_t ws, APanel a,
         }
       }
     }
+    if constexpr (Epi::kActive) epi.apply_tile(MT, c, ldc, NT);
     return;
   }
 #endif
@@ -180,6 +190,7 @@ inline void micro_kernel(index_t ws, APanel a,
         _mm256_storeu_ps(crow, acc[i]);
       }
     }
+    if constexpr (Epi::kActive) epi.apply_tile(MT, c, ldc, NT);
     return;
   }
   if constexpr (NT == 4) {
@@ -199,6 +210,7 @@ inline void micro_kernel(index_t ws, APanel a,
         _mm_storeu_ps(crow, acc[i]);
       }
     }
+    if constexpr (Epi::kActive) epi.apply_tile(MT, c, ldc, NT);
     return;
   }
 #endif
@@ -212,7 +224,7 @@ inline void micro_kernel(index_t ws, APanel a,
       for (int j = 0; j < NT; ++j) acc[i][j] += av * b[j];
     }
   }
-  for (int i = 0; i < MT; ++i)
+  for (int i = 0; i < MT; ++i) {
     for (int j = 0; j < NT; ++j) {
       if constexpr (Accumulate) {
         c[i * ldc + j] += acc[i][j];
@@ -220,15 +232,19 @@ inline void micro_kernel(index_t ws, APanel a,
         c[i * ldc + j] = acc[i][j];
       }
     }
+  }
+  if constexpr (Epi::kActive) epi.apply_tile(MT, c, ldc, NT);
 }
 
 /// Tail kernel with runtime tile bounds (mt <= 8, nt <= 16); used for the
 /// ragged edges of C so the fast path above never branches.
-template <bool Accumulate = true, class IdxFn>
+template <bool Accumulate = true, class Epi = EpilogueNone, class IdxFn>
 inline void micro_kernel_tail(index_t ws, APanel a,
                               const float* NMSPMM_RESTRICT bpack,
                               index_t ldb, IdxFn idx_of, int mt, int nt,
-                              float* NMSPMM_RESTRICT c, index_t ldc) {
+                              float* NMSPMM_RESTRICT c, index_t ldc,
+                              const Epi& epi = {}) {
+  if constexpr (Epi::kActive) epi.prefetch(mt, nt);
   float acc[8][16] = {};
   for (index_t p = 0; p < ws; ++p) {
     const float* ap = a.base + idx_of(p) * a.stride_col;
@@ -238,7 +254,7 @@ inline void micro_kernel_tail(index_t ws, APanel a,
       for (int j = 0; j < nt; ++j) acc[i][j] += av * b[j];
     }
   }
-  for (int i = 0; i < mt; ++i)
+  for (int i = 0; i < mt; ++i) {
     for (int j = 0; j < nt; ++j) {
       if constexpr (Accumulate) {
         c[i * ldc + j] += acc[i][j];
@@ -246,6 +262,8 @@ inline void micro_kernel_tail(index_t ws, APanel a,
         c[i * ldc + j] = acc[i][j];
       }
     }
+  }
+  if constexpr (Epi::kActive) epi.apply_tile(mt, c, ldc, nt);
 }
 
 /// Fast-path tile sizes for the CPU micro kernel: 8 x 16 keeps the

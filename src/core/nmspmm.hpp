@@ -4,6 +4,7 @@
 
 #include "core/col_info.hpp"     // IWYU pragma: export
 #include "core/engine.hpp"       // IWYU pragma: export
+#include "core/epilogue.hpp"     // IWYU pragma: export
 #include "core/kernel_params.hpp" // IWYU pragma: export
 #include "core/nm_config.hpp"    // IWYU pragma: export
 #include "core/nm_format.hpp"    // IWYU pragma: export
@@ -12,3 +13,4 @@
 #include "core/spmm.hpp"         // IWYU pragma: export
 #include "core/spmm_kernels.hpp" // IWYU pragma: export
 #include "core/spmm_ref.hpp"     // IWYU pragma: export
+#include "model/ffn.hpp"         // IWYU pragma: export

@@ -14,6 +14,7 @@ std::size_t hash_value(const SpmmOptions& o) {
   hash_combine(h, o.smem_bytes);
   hash_combine(h, o.rescale ? 1u : 0u);
   hash_combine(h, o.num_threads);
+  hash_combine(h, hash_value(o.epilogue));
   if (o.params) {
     const BlockingParams& p = *o.params;
     for (index_t f : {p.ms, p.ns, p.ks, p.mt, p.nt, p.mr, p.nr}) {
@@ -33,6 +34,11 @@ SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
                           std::shared_ptr<ThreadPool> pool) {
   NMSPMM_CHECK(B != nullptr);
   NMSPMM_CHECK_MSG(m >= 1, "planned batch m must be positive");
+  NMSPMM_CHECK_MSG(!(options.epilogue.active() && options.rescale),
+                   "epilogue fusion is incompatible with rescale: the M/N "
+                   "scale must precede the activation");
+  NMSPMM_CHECK_MSG(!options.epilogue.act_on_other || options.epilogue.mul,
+                   "epilogue act_on_other requires mul");
   B->config.validate();
   SpmmPlan plan;
   plan.weights_ = std::move(B);
@@ -86,6 +92,11 @@ SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
 }
 
 Status SpmmPlan::execute(ConstViewF A, ViewF C) const {
+  return execute(A, C, EpilogueArgs{});
+}
+
+Status SpmmPlan::execute(ConstViewF A, ViewF C,
+                         const EpilogueArgs& epilogue_args) const {
   const CompressedNM& B = *weights_;
   if (A.cols() != B.orig_rows) {
     std::ostringstream os;
@@ -105,20 +116,28 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C) const {
           "nmspmm::Engine, which re-plans per batch-size bucket";
     return Status::FailedPrecondition(os.str());
   }
+  NMSPMM_RETURN_IF_ERROR(validate_epilogue(options_.epilogue, epilogue_args,
+                                           C.rows(), C.cols()));
   ThreadPool* pool = pool_.get();
   try {
     switch (options_.variant) {
       case KernelVariant::kReference:
         spmm_reference(A, B, C, options_.rescale);
+        // The reference variant has no fused stores; run the epilogue as
+        // the unfused oracle pass instead.
+        apply_epilogue(options_.epilogue, epilogue_args, C);
         return Status::Ok();
       case KernelVariant::kV1:
-        spmm_v1(A, B, C, params_, *packed_, pool);
+        spmm_v1(A, B, C, params_, *packed_, pool, options_.epilogue,
+                epilogue_args);
         break;
       case KernelVariant::kV2:
-        spmm_v2(A, B, C, params_, *packed_, pool);
+        spmm_v2(A, B, C, params_, *packed_, pool, options_.epilogue,
+                epilogue_args);
         break;
       case KernelVariant::kV3:
-        spmm_v3(A, B, C, params_, use_packing_, *packed_, pool);
+        spmm_v3(A, B, C, params_, use_packing_, *packed_, pool,
+                options_.epilogue, epilogue_args);
         break;
     }
     if (options_.rescale) {

@@ -27,6 +27,7 @@
 #include <optional>
 
 #include "core/col_info.hpp"
+#include "core/epilogue.hpp"
 #include "core/kernel_params.hpp"
 #include "core/nm_format.hpp"
 #include "core/packed_weights.hpp"
@@ -60,6 +61,12 @@ struct SpmmOptions {
   /// though parallel runs are bit-exact too, see spmm_kernels.hpp).
   /// Plans built by an Engine run on the engine's pool instead.
   unsigned num_threads = 0;
+  /// Post-ops fused into the final k-chunk's stores (bias, SiLU/GELU,
+  /// elementwise mul — see core/epilogue.hpp). Structural only: the
+  /// operands are bound per call via execute(A, C, EpilogueArgs).
+  /// Incompatible with rescale (the scale would land after the
+  /// nonlinearity instead of before it).
+  EpilogueSpec epilogue;
 
   friend bool operator==(const SpmmOptions&, const SpmmOptions&) = default;
 };
@@ -86,8 +93,17 @@ class SpmmPlan {
   /// blocking stays valid for smaller batches); C must be m' x n.
   /// Returns InvalidArgument on shape mismatches and FailedPrecondition
   /// when the batch exceeds the planned m — use an Engine to serve
-  /// arbitrary batch sizes.
+  /// arbitrary batch sizes. When the plan's options carry an active
+  /// EpilogueSpec, the epilogue operands must be supplied through the
+  /// three-argument overload.
   [[nodiscard]] Status execute(ConstViewF A, ViewF C) const;
+  /// As above, binding @p epilogue_args to the plan's EpilogueSpec: the
+  /// final k-chunk's stores apply C = act(acc + bias) (*) other (see
+  /// core/epilogue.hpp) with no separate pass over C. @p epilogue_args
+  /// must satisfy validate_epilogue for this plan's spec and C's shape;
+  /// EpilogueArgs::other must not alias C.
+  [[nodiscard]] Status execute(ConstViewF A, ViewF C,
+                               const EpilogueArgs& epilogue_args) const;
 
   [[nodiscard]] index_t planned_m() const { return planned_m_; }
   [[nodiscard]] const BlockingParams& params() const { return params_; }

@@ -114,12 +114,14 @@ struct PolicyResidentPacked {
 /// Run the strip decomposition of one (group-segment x m-tile): full
 /// kMicroM x kMicroN tiles on the fast path, runtime-bounded tails at the
 /// ragged edges. @p Accumulate false (first k-chunk) stores instead of
-/// adds — the fused C zero-fill.
-template <bool Prefetch, bool Accumulate, class IdxFn>
+/// adds — the fused C zero-fill. @p Epi (active on the final k-chunk
+/// only) finalizes each stored row in place; @p epi must be aligned to
+/// c_block's origin element.
+template <bool Prefetch, bool Accumulate, class Epi, class IdxFn>
 void run_segment(index_t wb, APanel a, const float* bpack, index_t ldb,
                  index_t b_off, const IdxFn& idx_proto, index_t mb,
                  float* c_block, index_t ldc, index_t seg_off,
-                 index_t seg_w) {
+                 index_t seg_w, const Epi& epi) {
   for (index_t i0 = 0; i0 < mb; i0 += kMicroM) {
     const int mt = static_cast<int>(std::min<index_t>(kMicroM, mb - i0));
     const APanel a_tile = a.shifted_rows(i0);
@@ -131,19 +133,21 @@ void run_segment(index_t wb, APanel a, const float* bpack, index_t ldb,
       const index_t jw = rem >= 16 ? 16 : (rem >= 8 ? 8 : (rem >= 4 ? 4 : rem));
       float* c = c_block + i0 * ldc + seg_off + j;
       const float* b = bpack + b_off + j;
+      const Epi epi_tile = epi.shifted(i0, seg_off + j);
       IdxFn idx = idx_proto;  // fresh (possibly stateful) index stream
       if (mt == kMicroM && jw == 16) {
-        detail::micro_kernel<kMicroM, 16, Prefetch, Accumulate>(
-            wb, a_tile, b, ldb, idx, c, ldc);
+        detail::micro_kernel<kMicroM, 16, Prefetch, Accumulate, Epi>(
+            wb, a_tile, b, ldb, idx, c, ldc, epi_tile);
       } else if (mt == kMicroM && jw == 8) {
-        detail::micro_kernel<kMicroM, 8, Prefetch, Accumulate>(
-            wb, a_tile, b, ldb, idx, c, ldc);
+        detail::micro_kernel<kMicroM, 8, Prefetch, Accumulate, Epi>(
+            wb, a_tile, b, ldb, idx, c, ldc, epi_tile);
       } else if (mt == kMicroM && jw == 4) {
-        detail::micro_kernel<kMicroM, 4, Prefetch, Accumulate>(
-            wb, a_tile, b, ldb, idx, c, ldc);
+        detail::micro_kernel<kMicroM, 4, Prefetch, Accumulate, Epi>(
+            wb, a_tile, b, ldb, idx, c, ldc, epi_tile);
       } else {
-        detail::micro_kernel_tail<Accumulate>(wb, a_tile, b, ldb, idx, mt,
-                                              static_cast<int>(jw), c, ldc);
+        detail::micro_kernel_tail<Accumulate, Epi>(
+            wb, a_tile, b, ldb, idx, mt, static_cast<int>(jw), c, ldc,
+            epi_tile);
       }
       j += jw;
     }
@@ -168,11 +172,13 @@ void run_segment(index_t wb, APanel a, const float* bpack, index_t ldb,
 template <class Policy>
 void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
                   const BlockingParams& prm, const PackedWeights& packed,
-                  const Policy& policy, ThreadPool* pool) {
+                  const Policy& policy, ThreadPool* pool,
+                  const EpilogueSpec& espec, const EpilogueArgs& eargs) {
   const NMConfig& cfg = B.config;
   NMSPMM_CHECK(A.cols() == B.orig_rows);
   NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
   validate_params(prm, cfg, static_cast<std::size_t>(-1), A.cols());
+  NMSPMM_CHECK_OK(validate_epilogue(espec, eargs, C.rows(), C.cols()));
   NMSPMM_CHECK_MSG(packed.matches(B, prm),
                    "PackedWeights was built for ks=" << packed.ks()
                        << " ns=" << packed.ns()
@@ -204,6 +210,14 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
     return t;
   };
 
+  // Epilogue rooted at C(0, 0); re-shifted per m-block below. Only the
+  // final k-chunk finalizes — every C element is fully accumulated
+  // exactly then, and each tile is finalized by the worker that stored
+  // it, so results stay bit-exact across thread counts.
+  const bool epi_active = espec.active();
+  const detail::EpilogueApply epi_root =
+      detail::EpilogueApply::root(espec, eargs);
+
   // One tile's worth of m-blocks [mb_lo, mb_hi): prepare A per m-block,
   // then walk the pruning-window column groups of the n-block against
   // the resident Bs tile and its flattened index streams.
@@ -212,24 +226,45 @@ void spmm_blocked(ConstViewF A, const CompressedNM& B, ViewF C,
                       std::vector<float>& a_scratch) {
     const float* btile = packed.tile_values(t.chunk, t.nblock);
     const bool accumulate = t.chunk > 0;
+    const bool finalize = epi_active && t.chunk == num_chunks - 1;
     const index_t g0 = j0 / L;
     const index_t g1 = ceil_div(j0 + jb, L);
+    if (finalize && mb_lo < mb_hi) {
+      // Pull the first m-block's slice of the epilogue's second operand
+      // into cache; its strided per-tile access defeats the hardware
+      // prefetcher, so cold reads would stall the stores a line at a
+      // time. Subsequent m-blocks are prefetched a full block ahead.
+      const index_t i0 = mb_lo * prm.ms;
+      epi_root.shifted(i0, j0).prefetch_block(std::min(prm.ms, m - i0), jb);
+    }
     for (index_t mb_idx = mb_lo; mb_idx < mb_hi; ++mb_idx) {
       const index_t i0 = mb_idx * prm.ms;
       const index_t mb = std::min(prm.ms, m - i0);
       const APanel a = policy.prepare_a(t, A, i0, mb, a_scratch, lda);
+      if (finalize && mb_idx + 1 < mb_hi) {
+        const index_t i1 = (mb_idx + 1) * prm.ms;
+        epi_root.shifted(i1, j0).prefetch_block(std::min(prm.ms, m - i1),
+                                                jb);
+      }
       for (index_t g = g0; g < g1; ++g) {
         const index_t seg_lo = std::max(g * L, j0);
         const index_t seg_hi = std::min((g + 1) * L, j0 + jb);
         const auto idx_proto = policy.idx_fn(t, g);
-        if (accumulate) {
-          run_segment<Policy::kPrefetch, true>(
-              t.wb, a, btile, ldb, seg_lo - j0, idx_proto, mb,
-              C.row(i0) + j0, C.ld(), seg_lo - j0, seg_hi - seg_lo);
+        auto run_seg = [&](auto epi) {
+          if (accumulate) {
+            run_segment<Policy::kPrefetch, true>(
+                t.wb, a, btile, ldb, seg_lo - j0, idx_proto, mb,
+                C.row(i0) + j0, C.ld(), seg_lo - j0, seg_hi - seg_lo, epi);
+          } else {
+            run_segment<Policy::kPrefetch, false>(
+                t.wb, a, btile, ldb, seg_lo - j0, idx_proto, mb,
+                C.row(i0) + j0, C.ld(), seg_lo - j0, seg_hi - seg_lo, epi);
+          }
+        };
+        if (finalize) {
+          run_seg(epi_root.shifted(i0, j0));
         } else {
-          run_segment<Policy::kPrefetch, false>(
-              t.wb, a, btile, ldb, seg_lo - j0, idx_proto, mb,
-              C.row(i0) + j0, C.ld(), seg_lo - j0, seg_hi - seg_lo);
+          run_seg(detail::EpilogueNone{});
         }
       }
     }
@@ -285,46 +320,57 @@ void check_kind(const PackedWeights& packed, PackedWeights::IndexKind kind,
 
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, const PackedWeights& packed,
-             ThreadPool* pool) {
+             ThreadPool* pool, const EpilogueSpec& epilogue,
+             const EpilogueArgs& epilogue_args) {
   check_kind(packed, PackedWeights::IndexKind::kDirect, "V1");
   PolicyResidentDirect<false> policy{packed};
-  spmm_blocked(A, B, C, params, packed, policy, pool);
+  spmm_blocked(A, B, C, params, packed, policy, pool, epilogue,
+               epilogue_args);
 }
 
 void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, const PackedWeights& packed,
-             ThreadPool* pool) {
+             ThreadPool* pool, const EpilogueSpec& epilogue,
+             const EpilogueArgs& epilogue_args) {
   check_kind(packed, PackedWeights::IndexKind::kRemapped, "V2");
   PolicyResidentPacked<false> policy{packed};
-  spmm_blocked(A, B, C, params, packed, policy, pool);
+  spmm_blocked(A, B, C, params, packed, policy, pool, epilogue,
+               epilogue_args);
 }
 
 void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, bool use_packing,
-             const PackedWeights& packed, ThreadPool* pool) {
+             const PackedWeights& packed, ThreadPool* pool,
+             const EpilogueSpec& epilogue,
+             const EpilogueArgs& epilogue_args) {
   if (use_packing) {
     check_kind(packed, PackedWeights::IndexKind::kRemapped, "V3 (packed)");
     PolicyResidentPacked<true> policy{packed};
-    spmm_blocked(A, B, C, params, packed, policy, pool);
+    spmm_blocked(A, B, C, params, packed, policy, pool, epilogue,
+                 epilogue_args);
   } else {
     check_kind(packed, PackedWeights::IndexKind::kDirect, "V3 (non-packed)");
     PolicyResidentDirect<true> policy{packed};
-    spmm_blocked(A, B, C, params, packed, policy, pool);
+    spmm_blocked(A, B, C, params, packed, policy, pool, epilogue,
+                 epilogue_args);
   }
 }
 
 // ---- compatibility overloads: pack on the fly, run the resident path.
 
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
-             const BlockingParams& params, ThreadPool* pool) {
+             const BlockingParams& params, ThreadPool* pool,
+             const EpilogueSpec& epilogue,
+             const EpilogueArgs& epilogue_args) {
   const PackedWeights packed = PackedWeights::build(
       B, params.ks, params.ns, PackedWeights::IndexKind::kDirect);
-  spmm_v1(A, B, C, params, packed, pool);
+  spmm_v1(A, B, C, params, packed, pool, epilogue, epilogue_args);
 }
 
 void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, const ColInfo& col_info,
-             ThreadPool* pool) {
+             ThreadPool* pool, const EpilogueSpec& epilogue,
+             const EpilogueArgs& epilogue_args) {
   NMSPMM_CHECK_MSG(col_info.ks() == params.ks && col_info.ns() == params.ns,
                    "col_info was built for ks=" << col_info.ks() << " ns="
                        << col_info.ns() << " but kernel uses "
@@ -332,14 +378,15 @@ void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
   const PackedWeights packed = PackedWeights::build(
       B, params.ks, params.ns, PackedWeights::IndexKind::kRemapped,
       &col_info);
-  spmm_v2(A, B, C, params, packed, pool);
+  spmm_v2(A, B, C, params, packed, pool, epilogue, epilogue_args);
 }
 
 void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, bool use_packing,
              const ColInfo* col_info,
              const Matrix<std::int32_t>* resolved,
-             ThreadPool* pool) {
+             ThreadPool* pool, const EpilogueSpec& epilogue,
+             const EpilogueArgs& epilogue_args) {
   if (use_packing) {
     NMSPMM_CHECK_MSG(col_info != nullptr,
                      "V3 packed path requires col_info preprocessing");
@@ -347,14 +394,14 @@ void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
     const PackedWeights packed = PackedWeights::build(
         B, params.ks, params.ns, PackedWeights::IndexKind::kRemapped,
         col_info);
-    spmm_v3(A, B, C, params, true, packed, pool);
+    spmm_v3(A, B, C, params, true, packed, pool, epilogue, epilogue_args);
   } else {
     NMSPMM_CHECK_MSG(resolved != nullptr,
                      "V3 non-packed path requires resolve_indices()");
     NMSPMM_CHECK(resolved->rows() == B.rows());
     const PackedWeights packed = PackedWeights::build(
         B, params.ks, params.ns, PackedWeights::IndexKind::kDirect);
-    spmm_v3(A, B, C, params, false, packed, pool);
+    spmm_v3(A, B, C, params, false, packed, pool, epilogue, epilogue_args);
   }
 }
 

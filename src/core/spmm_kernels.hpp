@@ -21,6 +21,7 @@
 #pragma once
 
 #include "core/col_info.hpp"
+#include "core/epilogue.hpp"
 #include "core/kernel_params.hpp"
 #include "core/nm_format.hpp"
 #include "core/packed_weights.hpp"
@@ -44,36 +45,49 @@ PackedWeights::IndexKind packed_kind_for(KernelVariant variant,
 // them, n-blocks for the small-m serving shapes where m-blocks alone
 // cannot feed every worker. Both partitionings preserve the per-element
 // accumulation order, so results are bit-exact across thread counts.
+//
+// Every kernel also takes an optional epilogue (core/epilogue.hpp):
+// when @p epilogue is active, the final k-chunk's stores apply
+// bias/activation/elementwise-mul in place of a separate pass over C.
+// @p epilogue_args must satisfy validate_epilogue for C's shape;
+// EpilogueArgs::other must not alias C.
 
 /// @p packed must have been built from @p B with kDirect and the same
 /// (ks, ns) as @p params.
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, const PackedWeights& packed,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr, const EpilogueSpec& epilogue = {},
+             const EpilogueArgs& epilogue_args = {});
 
 /// @p packed must have been built from @p B with kRemapped and the same
 /// (ks, ns) as @p params.
 void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, const PackedWeights& packed,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr, const EpilogueSpec& epilogue = {},
+             const EpilogueArgs& epilogue_args = {});
 
 /// @p use_packing selects the high-sparsity packed pipeline or the
 /// moderate-sparsity non-packed pipeline; @p packed's kind must match
 /// (kRemapped when packing, kDirect otherwise).
 void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, bool use_packing,
-             const PackedWeights& packed, ThreadPool* pool = nullptr);
+             const PackedWeights& packed, ThreadPool* pool = nullptr,
+             const EpilogueSpec& epilogue = {},
+             const EpilogueArgs& epilogue_args = {});
 
 // ---- compatibility overloads: pre-pack on the fly, then run the
 // resident path. One-shot callers only; plans/engines pre-pack once.
 
 void spmm_v1(ConstViewF A, const CompressedNM& B, ViewF C,
-             const BlockingParams& params, ThreadPool* pool = nullptr);
+             const BlockingParams& params, ThreadPool* pool = nullptr,
+             const EpilogueSpec& epilogue = {},
+             const EpilogueArgs& epilogue_args = {});
 
 /// @p col_info must have been built with the same (ks, ns) as @p params.
 void spmm_v2(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, const ColInfo& col_info,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr, const EpilogueSpec& epilogue = {},
+             const EpilogueArgs& epilogue_args = {});
 
 /// @p use_packing selects the high-sparsity packed pipeline (requires
 /// @p col_info) or the moderate-sparsity non-packed pipeline (requires
@@ -84,7 +98,8 @@ void spmm_v3(ConstViewF A, const CompressedNM& B, ViewF C,
              const BlockingParams& params, bool use_packing,
              const ColInfo* col_info,
              const Matrix<std::int32_t>* resolved,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr, const EpilogueSpec& epilogue = {},
+             const EpilogueArgs& epilogue_args = {});
 
 /// FLOP count of the sparse product (2*m*n*w), the numerator of every
 /// efficiency number in the evaluation.

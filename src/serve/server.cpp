@@ -17,15 +17,29 @@ void accumulate(Server::GroupStats& into, const Server::GroupStats& from) {
   into.batches += from.batches;
   into.full_flushes += from.full_flushes;
   into.timeout_flushes += from.timeout_flushes;
+  into.bypassed += from.bypassed;
   into.errors += from.errors;
   into.max_queue_depth = std::max(into.max_queue_depth, from.max_queue_depth);
+}
+
+/// Bytes the dispatcher's staging matrices need for one batch of
+/// @p rows gathered activations (depth @p k) and outputs (width @p n),
+/// matching MatrixF's padded leading dimension.
+std::size_t staging_bytes(index_t rows, index_t k, index_t n) {
+  auto padded = [](index_t cols) {
+    return round_up(static_cast<std::size_t>(std::max<index_t>(cols, 1)),
+                    MatrixF::kLdPadElements);
+  };
+  return static_cast<std::size_t>(rows) * (padded(k) + padded(n)) *
+         sizeof(float);
 }
 
 }  // namespace
 
 std::size_t Server::GroupKeyHash::operator()(
     const GroupKey& k) const noexcept {
-  std::size_t h = std::hash<const void*>{}(k.weights);
+  std::size_t h = std::hash<const void*>{}(k.target);
+  hash_combine(h, k.ffn ? 1u : 0u);
   hash_combine(h, hash_value(k.options));
   return h;
 }
@@ -76,10 +90,17 @@ std::future<Status> Server::submit(ConstViewF A,
     done.set_value(Status::InvalidArgument(os.str()));
     return result;
   }
+  if (options.epilogue.active()) {
+    done.set_value(Status::InvalidArgument(
+        "batched submissions cannot carry epilogue operands; submit whole "
+        "FFN blocks through submit_ffn instead"));
+    return result;
+  }
   // Requests batch only when one plan serves them all: normalize the
   // thread count exactly as the engine does for its cache key.
   options.num_threads = engine_.normalized_num_threads();
-  const GroupKey key{B.get(), options};
+  const GroupKey key{B.get(), /*ffn=*/false, options};
+  bool bypass = false;
   {
     std::lock_guard lock(mutex_);
     if (stop_) {
@@ -89,16 +110,119 @@ std::future<Status> Server::submit(ConstViewF A,
     std::unique_ptr<Group>& group = groups_[key];
     if (group == nullptr) {
       group = std::make_unique<Group>();
-      group->weights = std::move(B);
+      group->weights = B;
     }
     group->stats.requests += 1;
     group->stats.rows += static_cast<std::uint64_t>(A.rows());
-    group->queue.push(
-        BatchRequest{A, C, std::move(done), BatchQueue::Clock::now()});
-    group->stats.max_queue_depth = group->queue.max_depth_seen();
+    // Single-row fast path: with nothing pending in the group there is
+    // nothing to coalesce with — serve synchronously below (outside the
+    // lock) instead of paying the dispatch round-trip. Skips batch
+    // accounting entirely (no batches / flush counters).
+    bypass = options_.bypass_single_rows && A.rows() == 1 &&
+             group->queue.empty();
+    if (bypass) {
+      group->stats.bypassed += 1;
+    } else {
+      group->queue.push(
+          BatchRequest{A, C, std::move(done), BatchQueue::Clock::now()});
+      group->stats.max_queue_depth = group->queue.max_depth_seen();
+    }
+    prune_idle_groups_locked(group.get());
+  }
+  if (bypass) {
+    const Status status = engine_.spmm(A, std::move(B), C, options);
+    if (!status.ok()) {
+      std::lock_guard lock(mutex_);
+      auto it = groups_.find(key);
+      (it != groups_.end() ? it->second->stats : retired_).errors += 1;
+    }
+    done.set_value(status);
+    return result;
   }
   work_cv_.notify_all();
   return result;
+}
+
+std::future<Status> Server::submit_ffn(ConstViewF A,
+                                       std::shared_ptr<model::ModelPlan> plan,
+                                       ViewF out) {
+  std::promise<Status> done;
+  std::future<Status> result = done.get_future();
+  if (plan == nullptr) {
+    done.set_value(Status::InvalidArgument("model plan shared_ptr is null"));
+    return result;
+  }
+  if (A.rows() < 1) {
+    done.set_value(Status::InvalidArgument("activation batch is empty"));
+    return result;
+  }
+  if (A.cols() != plan->hidden_in()) {
+    std::ostringstream os;
+    os << "A depth " << A.cols() << " != model hidden " << plan->hidden_in();
+    done.set_value(Status::InvalidArgument(os.str()));
+    return result;
+  }
+  if (out.rows() != A.rows() || out.cols() != plan->hidden_out()) {
+    std::ostringstream os;
+    os << "out is " << out.rows() << "x" << out.cols() << " but must be "
+       << A.rows() << "x" << plan->hidden_out();
+    done.set_value(Status::InvalidArgument(os.str()));
+    return result;
+  }
+  if (A.rows() > plan->planned_tokens()) {
+    std::ostringstream os;
+    os << "request of " << A.rows() << " tokens exceeds the plan's "
+       << plan->planned_tokens() << "-token budget";
+    done.set_value(Status::FailedPrecondition(os.str()));
+    return result;
+  }
+  const GroupKey key{plan.get(), /*ffn=*/true, SpmmOptions{}};
+  bool bypass = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      done.set_value(Status::FailedPrecondition("server is shut down"));
+      return result;
+    }
+    std::unique_ptr<Group>& group = groups_[key];
+    if (group == nullptr) {
+      group = std::make_unique<Group>();
+      group->ffn_plan = plan;
+    }
+    group->stats.requests += 1;
+    group->stats.rows += static_cast<std::uint64_t>(A.rows());
+    bypass = options_.bypass_single_rows && A.rows() == 1 &&
+             group->queue.empty();
+    if (bypass) {
+      group->stats.bypassed += 1;
+    } else {
+      group->queue.push(
+          BatchRequest{A, out, std::move(done), BatchQueue::Clock::now()});
+      group->stats.max_queue_depth = group->queue.max_depth_seen();
+    }
+    prune_idle_groups_locked(group.get());
+  }
+  if (bypass) {
+    const Status status = plan->run(A, out);
+    if (!status.ok()) {
+      std::lock_guard lock(mutex_);
+      auto it = groups_.find(key);
+      (it != groups_.end() ? it->second->stats : retired_).errors += 1;
+    }
+    done.set_value(status);
+    return result;
+  }
+  work_cv_.notify_all();
+  return result;
+}
+
+index_t Server::group_row_budget(const Group& group) const {
+  if (group.ffn_plan != nullptr) {
+    // A batch larger than the plan's token budget could never execute.
+    return std::min(options_.max_batch_rows,
+                    group.ffn_plan->planned_tokens());
+  }
+  return options_.max_batch_rows;
 }
 
 Server::PendingBatch Server::next_batch_locked(
@@ -113,7 +237,10 @@ Server::PendingBatch Server::next_batch_locked(
   for (auto& [key, group] : groups_) {
     BatchQueue& queue = group->queue;
     if (queue.empty()) continue;
-    if (!stop_ && !queue.ready(now, options_.max_batch_rows, wait)) continue;
+    if (!stop_ &&
+        !queue.ready(now, group_row_budget(*group), wait)) {
+      continue;
+    }
     if (pick == nullptr || queue.oldest() < pick->queue.oldest()) {
       pick_key = &key;
       pick = group.get();
@@ -121,12 +248,15 @@ Server::PendingBatch Server::next_batch_locked(
   }
   if (pick == nullptr) return batch;
 
-  const bool full = pick->queue.pending_rows() >= options_.max_batch_rows;
+  const index_t budget = group_row_budget(*pick);
+  const bool full = pick->queue.pending_rows() >= budget;
   batch.group = pick;
   batch.weights = pick->weights;
+  batch.ffn_plan = pick->ffn_plan;
   batch.options = pick_key->options;
-  batch.requests = pick->queue.take_batch(options_.max_batch_rows);
+  batch.requests = pick->queue.take_batch(budget);
   for (const BatchRequest& r : batch.requests) batch.rows += r.a.rows();
+  pick->busy = true;  // pin against submit-side pruning until accounted
   ++pick->stats.batches;
   if (full) {
     ++pick->stats.full_flushes;
@@ -136,12 +266,12 @@ Server::PendingBatch Server::next_batch_locked(
   return batch;
 }
 
-void Server::prune_idle_groups_locked(
-    std::unordered_map<const CompressedNM*, Staging>& staging) {
+void Server::prune_idle_groups_locked(const Group* keep) {
   if (groups_.size() <= options_.max_groups) return;
   for (auto it = groups_.begin();
        it != groups_.end() && groups_.size() > options_.max_groups;) {
-    if (it->second->queue.empty()) {
+    if (it->second.get() != keep && it->second->queue.empty() &&
+        !it->second->busy) {
       accumulate(retired_, it->second->stats);
       ++retired_groups_;
       it = groups_.erase(it);
@@ -149,32 +279,49 @@ void Server::prune_idle_groups_locked(
       ++it;
     }
   }
-  // Staging buffers are keyed per weights; release those no live group
-  // references any more.
-  std::unordered_set<const CompressedNM*> alive;
-  for (const auto& [key, group] : groups_) alive.insert(key.weights);
+}
+
+void Server::prune_staging_locked(StagingMap& staging) {
+  // Staging buffers are keyed per batch target; release those no live
+  // group references any more.
+  std::unordered_set<const void*> alive;
+  for (const auto& [key, group] : groups_) alive.insert(key.target);
   for (auto it = staging.begin(); it != staging.end();) {
     it = alive.count(it->first) != 0 ? std::next(it) : staging.erase(it);
   }
 }
 
-Status Server::serve_batch(
-    PendingBatch& batch,
-    std::unordered_map<const CompressedNM*, Staging>& staging) {
+Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
+  const bool ffn = batch.ffn_plan != nullptr;
   // A lone request needs no gather/scatter: hand its views straight to
-  // the engine (same plan-cache path, zero copies).
+  // the execution path (same plan caches, zero copies).
   if (batch.requests.size() == 1) {
     BatchRequest& r = batch.requests.front();
     const Status status =
-        engine_.spmm(r.a, batch.weights, r.c, batch.options);
+        ffn ? batch.ffn_plan->run(r.a, r.c)
+            : engine_.spmm(r.a, batch.weights, r.c, batch.options);
     r.done.set_value(status);
     return status;
   }
 
-  const index_t k = batch.weights->orig_rows;
-  const index_t n = batch.weights->cols;
-  Staging& st = staging[batch.weights.get()];
+  const index_t k =
+      ffn ? batch.ffn_plan->hidden_in() : batch.weights->orig_rows;
+  const index_t n =
+      ffn ? batch.ffn_plan->hidden_out() : batch.weights->cols;
+  const void* target = ffn ? static_cast<const void*>(batch.ffn_plan.get())
+                           : static_cast<const void*>(batch.weights.get());
   const index_t capacity = std::max(batch.rows, options_.max_batch_rows);
+  // Bound dispatcher memory before it grows: a trip here unwinds into
+  // the dispatcher's exception guard, failing this batch with INTERNAL
+  // while the server keeps serving.
+  NMSPMM_CHECK_MSG(
+      options_.max_staging_bytes == 0 ||
+          staging_bytes(capacity, k, n) <= options_.max_staging_bytes,
+      "batch of " << batch.rows << " rows needs "
+                  << staging_bytes(capacity, k, n)
+                  << " staging bytes, over max_staging_bytes="
+                  << options_.max_staging_bytes);
+  Staging& st = staging[target];
   if (st.a.rows() < batch.rows || st.a.cols() != k) st.a = MatrixF(capacity, k);
   if (st.c.rows() < batch.rows || st.c.cols() != n) st.c = MatrixF(capacity, n);
 
@@ -184,9 +331,11 @@ Status Server::serve_batch(
       std::copy_n(r.a.row(i), k, st.a.row(row++));
     }
   }
+  const ConstViewF a_view = st.a.view().block(0, 0, batch.rows, k);
   const ViewF c_view = st.c.view().block(0, 0, batch.rows, n);
-  const Status status = engine_.spmm(st.a.view().block(0, 0, batch.rows, k),
-                                     batch.weights, c_view, batch.options);
+  const Status status =
+      ffn ? batch.ffn_plan->run(a_view, c_view)
+          : engine_.spmm(a_view, batch.weights, c_view, batch.options);
   if (status.ok()) {
     row = 0;
     for (const BatchRequest& r : batch.requests) {
@@ -199,23 +348,47 @@ Status Server::serve_batch(
   return status;
 }
 
+void Server::fail_batch(PendingBatch& batch, const Status& status) {
+  for (BatchRequest& r : batch.requests) {
+    // A request may already have been resolved before the failure
+    // surfaced; second set_value throws future_error — skip those.
+    try {
+      r.done.set_value(status);
+    } catch (const std::future_error&) {
+    }
+  }
+}
+
 void Server::dispatcher_loop() {
   // Staging buffers live on the dispatcher's stack: only this thread
   // gathers/scatters, so they need no locking and are reused batch after
   // batch (no per-batch allocation once warm).
-  std::unordered_map<const CompressedNM*, Staging> staging;
+  StagingMap staging;
   std::unique_lock lock(mutex_);
   for (;;) {
     PendingBatch batch = next_batch_locked(BatchQueue::Clock::now());
     if (batch.group != nullptr) {
       lock.unlock();
-      const Status status = serve_batch(batch, staging);
+      // Exception guard (ROADMAP): a failure assembling or running the
+      // batch — staging growth hitting max_staging_bytes or bad_alloc, a
+      // kernel invariant trip — fails this batch's futures with INTERNAL
+      // instead of std::terminate-ing the process on a bare thread.
+      Status status;
+      try {
+        status = serve_batch(batch, staging);
+      } catch (const std::exception& e) {
+        status = Status::Internal(e.what());
+        fail_batch(batch, status);
+      }
       lock.lock();
+      batch.group->busy = false;
       if (!status.ok()) {
         batch.group->stats.errors +=
             static_cast<std::uint64_t>(batch.requests.size());
       }
-      prune_idle_groups_locked(staging);  // keep retained state bounded
+      // Keep retained state bounded now that the batch is accounted.
+      prune_idle_groups_locked();
+      prune_staging_locked(staging);
       continue;  // more groups may be ready; drain before sleeping
     }
     bool any_pending = false;
@@ -247,13 +420,21 @@ Server::Stats Server::stats() const {
   return stats;
 }
 
-Server::GroupStats Server::weights_stats(const CompressedNM* weights) const {
+Server::GroupStats Server::target_stats(const void* target) const {
   std::lock_guard lock(mutex_);
   GroupStats stats;
   for (const auto& [key, group] : groups_) {
-    if (key.weights == weights) accumulate(stats, group->stats);
+    if (key.target == target) accumulate(stats, group->stats);
   }
   return stats;
+}
+
+Server::GroupStats Server::weights_stats(const CompressedNM* weights) const {
+  return target_stats(weights);
+}
+
+Server::GroupStats Server::model_stats(const model::ModelPlan* plan) const {
+  return target_stats(plan);
 }
 
 }  // namespace nmspmm

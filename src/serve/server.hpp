@@ -20,6 +20,23 @@
 // view before fulfilling the futures. Callers must keep their A and C
 // memory alive until the future resolves.
 //
+// Whole FFN blocks batch the same way: submit_ffn() coalesces concurrent
+// token rows against one model::ModelPlan, so a burst of decode steps
+// pays one pass over all three projection weight matrices instead of one
+// per request (src/model/ffn.hpp).
+//
+// Two latency escapes keep the common cases fast and the process alive:
+//  - Single-row bypass: when a 1-row submit() arrives and its group's
+//    queue is empty, nothing could coalesce with it anyway — it is
+//    served synchronously on the submitting thread (same engine plan
+//    cache, zero dispatch round-trip) and counted in stats().bypassed,
+//    outside batch accounting.
+//  - The dispatcher wraps every batch execution in an exception guard:
+//    a failure while assembling or running a batch (allocation failure
+//    growing staging, a kernel invariant trip) fails that batch's
+//    futures with an INTERNAL Status instead of std::terminate-ing the
+//    process, and the dispatcher keeps serving subsequent batches.
+//
 // Shape errors are rejected per request (an immediately-ready error
 // future) so one malformed submission can never poison a batch. Shutdown
 // drains: every request accepted before shutdown() is served, then the
@@ -40,6 +57,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "model/ffn.hpp"
 #include "serve/batch_queue.hpp"
 
 namespace nmspmm {
@@ -60,6 +78,15 @@ struct ServerOptions {
   /// released — a server cycling through many weight matrices stays
   /// bounded. An evicted group that comes back simply starts fresh.
   std::size_t max_groups = 64;
+  /// Serve 1-row requests synchronously on the submitting thread when
+  /// their group's queue is empty (nothing to coalesce with): skips the
+  /// dispatch round-trip and batch accounting entirely.
+  bool bypass_single_rows = true;
+  /// Cap on the dispatcher's gather/scatter staging for one batch, in
+  /// bytes (0 = unbounded). A batch needing more fails with INTERNAL
+  /// via the dispatcher's exception guard instead of letting staging
+  /// growth take the process down.
+  std::size_t max_staging_bytes = 0;
   /// The backing engine (worker pool + plan cache) the server owns.
   EngineOptions engine;
 };
@@ -73,12 +100,28 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Enqueue C = A (*) (B, D) and return a future that resolves when the
-  /// request has been served (possibly coalesced with others). A and C
-  /// must stay alive until then. Shape/argument errors resolve the future
-  /// immediately without enqueuing.
+  /// request has been served (possibly coalesced with others, or bypassed
+  /// — see ServerOptions::bypass_single_rows, in which case the future is
+  /// already resolved on return). A and C must stay alive until then.
+  /// Shape/argument errors resolve the future immediately without
+  /// enqueuing. @p options must carry an inactive EpilogueSpec (epilogue
+  /// operands cannot ride a batched submission; use submit_ffn for the
+  /// fused-FFN workload).
   std::future<Status> submit(ConstViewF A,
                              std::shared_ptr<const CompressedNM> B, ViewF C,
                              SpmmOptions options = {});
+
+  /// Enqueue out = FFN_chain(A) against @p plan (built by
+  /// Engine::plan_model — any engine; plans carry their own weights and
+  /// pool). Concurrent submissions against the same plan coalesce into
+  /// one ModelPlan::run over the gathered token rows. A and out must
+  /// stay alive until the future resolves. Requests with more rows than
+  /// plan->planned_tokens() are rejected up front (they could never be
+  /// served); batches assembled from smaller requests are capped at the
+  /// plan's token budget.
+  std::future<Status> submit_ffn(ConstViewF A,
+                                 std::shared_ptr<model::ModelPlan> plan,
+                                 ViewF out);
 
   /// Stop accepting requests, serve everything already queued, and join
   /// the dispatcher. Idempotent; the destructor calls it.
@@ -88,31 +131,36 @@ class Server {
   struct GroupStats {
     std::uint64_t requests = 0;         ///< submissions accepted
     std::uint64_t rows = 0;             ///< activation rows accepted
-    std::uint64_t batches = 0;          ///< Engine::spmm calls dispatched
+    std::uint64_t batches = 0;          ///< batches dispatched
     std::uint64_t full_flushes = 0;     ///< batches flushed on row budget
     std::uint64_t timeout_flushes = 0;  ///< flushed on max_wait / drain
+    std::uint64_t bypassed = 0;         ///< served synchronously at submit
     std::uint64_t errors = 0;           ///< requests resolved non-OK
     std::size_t max_queue_depth = 0;    ///< peak pending requests
   };
   struct Stats {
     GroupStats totals;  ///< live groups + counters of evicted ones
-    std::size_t groups = 0;  ///< distinct (weights, options) groups seen
+    std::size_t groups = 0;  ///< distinct (target, options) groups seen
   };
   [[nodiscard]] Stats stats() const;
   /// Aggregate over every *live* group serving @p weights (any options);
   /// counters of groups already evicted under max_groups only survive in
   /// stats().totals.
   [[nodiscard]] GroupStats weights_stats(const CompressedNM* weights) const;
+  /// As weights_stats, for the FFN groups serving @p plan.
+  [[nodiscard]] GroupStats model_stats(const model::ModelPlan* plan) const;
 
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
-  /// Requests batch together only when they agree on weights and options
-  /// (one Engine::spmm must serve them all).
+  /// Requests batch together only when one execution can serve them all:
+  /// plain SpMM requests must agree on weights and options; FFN requests
+  /// must agree on the ModelPlan (which fixes everything else).
   struct GroupKey {
-    const CompressedNM* weights = nullptr;
-    SpmmOptions options;
+    const void* target = nullptr;  ///< CompressedNM* or model::ModelPlan*
+    bool ffn = false;
+    SpmmOptions options;  ///< default-constructed for FFN groups
 
     friend bool operator==(const GroupKey&, const GroupKey&) = default;
   };
@@ -120,39 +168,57 @@ class Server {
     std::size_t operator()(const GroupKey& k) const noexcept;
   };
   struct Group {
-    std::shared_ptr<const CompressedNM> weights;
+    std::shared_ptr<const CompressedNM> weights;  ///< plain groups
+    std::shared_ptr<model::ModelPlan> ffn_plan;   ///< FFN groups
     BatchQueue queue;
     GroupStats stats;
+    /// True while the dispatcher serves a batch popped from this group;
+    /// pins the group against submit-side pruning until it is accounted.
+    bool busy = false;
   };
   /// A popped batch, ready to execute outside the lock.
   struct PendingBatch {
     Group* group = nullptr;
     std::shared_ptr<const CompressedNM> weights;
+    std::shared_ptr<model::ModelPlan> ffn_plan;
     SpmmOptions options;
     std::vector<BatchRequest> requests;
     index_t rows = 0;
   };
-  /// Reusable gather/scatter staging, owned by the dispatcher thread.
+  /// Reusable gather/scatter staging, owned by the dispatcher thread and
+  /// keyed by batch target (weights or model plan).
   struct Staging {
     MatrixF a;
     MatrixF c;
   };
+  using StagingMap = std::unordered_map<const void*, Staging>;
 
   void dispatcher_loop();
+  /// The row budget one batch of @p group may assemble: max_batch_rows,
+  /// additionally capped at the plan's token budget for FFN groups.
+  [[nodiscard]] index_t group_row_budget(const Group& group) const;
   /// Pop the next batch that must flush (row budget, deadline, or drain),
   /// oldest front request first when several groups are ready. Requires
   /// mutex_ held; returns an empty batch when nothing is ready.
   PendingBatch next_batch_locked(BatchQueue::Clock::time_point now);
-  /// Evict idle groups beyond options_.max_groups (folding their stats
-  /// into retired_) and drop staging for weights no live group serves.
-  /// Requires mutex_ held.
-  void prune_idle_groups_locked(
-      std::unordered_map<const CompressedNM*, Staging>& staging);
+  /// Evict idle, non-busy groups beyond options_.max_groups (except
+  /// @p keep, the group the caller is still using), folding their stats
+  /// into retired_. Requires mutex_ held; safe from both the dispatcher
+  /// and submitting threads (bypassed traffic never wakes the
+  /// dispatcher, so retention is bounded here too).
+  void prune_idle_groups_locked(const Group* keep = nullptr);
+  /// Drop staging buffers for targets no live group serves. Dispatcher
+  /// only (staging is dispatcher-owned); requires mutex_ held.
+  void prune_staging_locked(StagingMap& staging);
   /// Assemble, execute, scatter, and resolve one batch (no lock held).
-  /// Returns the batch's Status so the dispatcher can count errors.
-  Status serve_batch(
-      PendingBatch& batch,
-      std::unordered_map<const CompressedNM*, Staging>& staging);
+  /// Returns the batch's Status so the dispatcher can count errors. May
+  /// throw (e.g. staging growth failure); the dispatcher's guard turns
+  /// that into an INTERNAL resolution for the batch's futures.
+  Status serve_batch(PendingBatch& batch, StagingMap& staging);
+  /// Resolve every not-yet-resolved future of @p batch with @p status.
+  static void fail_batch(PendingBatch& batch, const Status& status);
+  /// Aggregate the live groups whose key target is @p target.
+  [[nodiscard]] GroupStats target_stats(const void* target) const;
 
   ServerOptions options_;
   Engine engine_;

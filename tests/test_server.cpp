@@ -259,6 +259,104 @@ TEST(Server, EvictsIdleGroupsBeyondMaxGroups) {
   EXPECT_GE(released, 3);
 }
 
+TEST(Server, SingleRowRequestsBypassDispatchWhenQueueIsEmpty) {
+  Rng rng(906);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  Server server;  // bypass_single_rows defaults on
+  for (int i = 0; i < 8; ++i) {
+    const MatrixF A = random_int_matrix(1, k, rng);
+    MatrixF C(1, n);
+    auto done = server.submit(A.view(), B, C.view());
+    // Bypassed requests are served synchronously: the future is already
+    // resolved when submit returns, with a correct result.
+    ASSERT_EQ(done.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    NMSPMM_ASSERT_OK(done.get());
+    EXPECT_EQ(max_abs_diff(reference_for(A.view(), *B).cview(), C.cview()),
+              0.0);
+  }
+
+  // Bypass skips batch accounting entirely: requests and rows count,
+  // batches and flush counters do not move.
+  const Server::GroupStats stats = server.weights_stats(B.get());
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.rows, 8u);
+  EXPECT_EQ(stats.bypassed, 8u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.full_flushes, 0u);
+  EXPECT_EQ(stats.timeout_flushes, 0u);
+  EXPECT_EQ(stats.max_queue_depth, 0u);
+}
+
+TEST(Server, BypassCanBeDisabled) {
+  Rng rng(907);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.bypass_single_rows = false;
+  opt.max_wait_us = 500;
+  Server server(opt);
+  const MatrixF A = random_int_matrix(1, k, rng);
+  MatrixF C(1, n);
+  NMSPMM_ASSERT_OK(server.submit(A.view(), B, C.view()).get());
+  const Server::GroupStats stats = server.weights_stats(B.get());
+  EXPECT_EQ(stats.bypassed, 0u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(Server, DispatcherGuardFailsBatchWithInternalInsteadOfTerminating) {
+  Rng rng(908);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 2;
+  opt.max_wait_us = 60 * 1000 * 1000;  // flush only when full
+  opt.bypass_single_rows = false;      // force the queued path
+  opt.max_staging_bytes = 1;  // any multi-request gather trips the guard
+  Server server(opt);
+
+  // Two 1-row requests coalesce into one 2-row batch whose staging
+  // (oversized for the 1-byte cap) throws inside serve_batch. The
+  // dispatcher must fail both futures with INTERNAL — the ROADMAP's
+  // std::terminate scenario — and keep serving afterwards.
+  const MatrixF a1 = random_int_matrix(1, k, rng);
+  const MatrixF a2 = random_int_matrix(1, k, rng);
+  MatrixF c1(1, n), c2(1, n);
+  auto f1 = server.submit(a1.view(), B, c1.view());
+  auto f2 = server.submit(a2.view(), B, c2.view());
+  EXPECT_EQ(f1.get().code(), StatusCode::kInternal);
+  EXPECT_EQ(f2.get().code(), StatusCode::kInternal);
+
+  // The server survived: a lone request (no staging needed) still works.
+  const MatrixF a3 = random_int_matrix(2, k, rng);
+  MatrixF c3(2, n);
+  auto f3 = server.submit(a3.view(), B, c3.view());
+  NMSPMM_ASSERT_OK(f3.get());
+  EXPECT_EQ(max_abs_diff(reference_for(a3.view(), *B).cview(), c3.cview()),
+            0.0);
+
+  const Server::GroupStats stats = server.weights_stats(B.get());
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_GE(stats.batches, 2u);
+}
+
+TEST(Server, RejectsEpilogueOptionsOnBatchedSubmissions) {
+  Rng rng(909);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+  Server server;
+  const MatrixF A = random_int_matrix(2, k, rng);
+  MatrixF C(2, n);
+  SpmmOptions options;
+  options.epilogue.act = Activation::kSilu;
+  auto done = server.submit(A.view(), B, C.view(), options);
+  EXPECT_EQ(done.get().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Server, ShutdownDrainsInFlightRequests) {
   Rng rng(904);
   const index_t k = 64, n = 64;
