@@ -16,6 +16,7 @@
 
 #include "bench/bench_common.hpp"
 #include "core/pack.hpp"
+#include "util/numa_alloc.hpp"
 
 using namespace nmspmm;
 using namespace nmspmm::bench;
@@ -28,6 +29,59 @@ struct VariantResult {
   double gflops = 0.0;
   double packing_ratio = 1.0;
 };
+
+/// Resident-footprint numbers for one residency mode of the same FFN
+/// block (mem/weight_store.hpp): what a memory-tight multi-tenant host
+/// actually pays per served model.
+struct ResidencyResult {
+  std::size_t weight_bytes = 0;
+  std::size_t packed_bytes = 0;
+  std::size_t scratch_bytes = 0;
+  std::size_t resident_bytes = 0;
+  int numa_node = -1;
+  mem::WeightStore::Stats store;
+};
+
+ResidencyResult measure_residency(mem::ResidencyMode mode, index_t hidden,
+                                  index_t ffn, index_t tokens,
+                                  const NMConfig& cfg, unsigned threads,
+                                  ConstViewF A, ViewF out) {
+  // Fresh weights per mode so each store starts cold; identical seeds
+  // make the two modes' outputs comparable bit-for-bit.
+  Rng rng(2024);
+  model::FfnBlock block;
+  block.gate = std::make_shared<const CompressedNM>(
+      random_compressed_int(hidden, ffn, cfg, rng));
+  block.up = std::make_shared<const CompressedNM>(
+      random_compressed_int(hidden, ffn, cfg, rng));
+  block.down = std::make_shared<const CompressedNM>(
+      random_compressed_int(ffn, hidden, cfg, rng));
+
+  EngineOptions opt;
+  opt.num_threads = threads;
+  opt.residency = mode;
+  opt.weight_store = std::make_shared<mem::WeightStore>();
+  Engine engine(opt);
+  auto plan = engine.plan_model(tokens, {block});
+  NMSPMM_CHECK_OK(plan.status());
+  // Steady state: the caller's copies are gone; whatever the plan (and
+  // under packed-only, only the stripped form + packed tiles) retains
+  // is the true per-model residency.
+  block.gate.reset();
+  block.up.reset();
+  block.down.reset();
+  NMSPMM_CHECK_OK((*plan)->run(A, out));
+
+  const auto stats = (*plan)->stats();
+  ResidencyResult r;
+  r.weight_bytes = stats.weight_bytes;
+  r.packed_bytes = stats.packed_bytes;
+  r.scratch_bytes = stats.scratch_bytes;
+  r.resident_bytes = stats.resident_bytes();
+  r.numa_node = stats.packed_numa_node;
+  r.store = stats.store;
+  return r;
+}
 
 std::string json_escape_free(double v) {
   // JSON has no inf/nan; clamp degenerate timings to 0.
@@ -116,6 +170,40 @@ int main(int argc, char** argv) {
       detail::pack_b_block_bytes() - staged_bytes0;
   const double requests_per_s = static_cast<double>(requests) / t_stream;
 
+  // Residency: the same FFN block served in default vs packed-only
+  // mode. Outputs must be bit-identical; the packed-only footprint is
+  // the pitch — ~1x packed bytes instead of compressed + packed.
+  const index_t r_hidden = std::min<index_t>(k, 1024);
+  const index_t r_ffn = std::min<index_t>(n, 1024);
+  const index_t r_tokens = 16;
+  Rng rng_res(4242);
+  const MatrixF res_a = random_int_matrix(r_tokens, r_hidden, rng_res);
+  MatrixF out_default(r_tokens, r_hidden), out_packed(r_tokens, r_hidden);
+  const ResidencyResult res_default = measure_residency(
+      mem::ResidencyMode::kDefault, r_hidden, r_ffn, r_tokens, cfg,
+      static_cast<unsigned>(cli.get_int("threads")), res_a.view(),
+      out_default.view());
+  const ResidencyResult res_packed = measure_residency(
+      mem::ResidencyMode::kPackedOnly, r_hidden, r_ffn, r_tokens, cfg,
+      static_cast<unsigned>(cli.get_int("threads")), res_a.view(),
+      out_packed.view());
+  const bool res_identical =
+      max_abs_diff(out_default.cview(), out_packed.cview()) == 0.0;
+  const double res_ratio =
+      res_default.resident_bytes > 0
+          ? static_cast<double>(res_packed.resident_bytes) /
+                static_cast<double>(res_default.resident_bytes)
+          : 0.0;
+  // Steady-state resident weight bytes vs the packed footprint: the
+  // acceptance bar for packed-only mode is ~1x (the leftover is the
+  // uint8 index matrices kept for plan validation).
+  const double res_weight_over_packed =
+      res_packed.packed_bytes > 0
+          ? static_cast<double>(res_packed.weight_bytes +
+                                res_packed.packed_bytes) /
+                static_cast<double>(res_packed.packed_bytes)
+          : 0.0;
+
   ResultTable table({"variant", "ms", "GFLOP/s", "packing ratio"});
   for (const VariantResult& r : results) {
     table.add_row({r.name, ResultTable::fmt(r.seconds * 1e3, 2),
@@ -127,6 +215,15 @@ int main(int argc, char** argv) {
             << " decode requests/s (m=1), steady-state staged weight "
             << "bytes: " << staged_bytes << " in " << staged_calls
             << " pack_b_block call(s)\n";
+  std::cout << "residency (" << r_hidden << "->" << r_ffn << " FFN block): "
+            << "default " << res_default.resident_bytes / 1024 << " KiB, "
+            << "packed-only " << res_packed.resident_bytes / 1024
+            << " KiB (" << ResultTable::fmt(res_ratio, 3)
+            << "x), weights+packed/packed = "
+            << ResultTable::fmt(res_weight_over_packed, 3)
+            << "x, outputs " << (res_identical ? "bit-identical" : "DIVERGED")
+            << ", numa node " << res_packed.numa_node << " of "
+            << numa::num_nodes() << "\n";
 
   const std::string out = cli.get_string("out");
   std::ofstream os(out);
@@ -136,7 +233,7 @@ int main(int argc, char** argv) {
   }
   os << "{\n"
      << "  \"bench\": \"bench_resident\",\n"
-     << "  \"schema_version\": 2,\n"
+     << "  \"schema_version\": 3,\n"
      << "  \"cpu\": \"" << cpu_model() << "\",\n"
      << "  \"shape\": {\"m\": " << m << ", \"n\": " << n << ", \"k\": " << k
      << ", \"sparsity\": " << cfg.sparsity()
@@ -151,13 +248,40 @@ int main(int argc, char** argv) {
        << json_escape_free(r.packing_ratio) << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  const auto emit_residency = [&os](const char* name,
+                                    const ResidencyResult& r) {
+    os << "    \"" << name << "\": {\"weight_bytes\": " << r.weight_bytes
+       << ", \"packed_bytes\": " << r.packed_bytes
+       << ", \"scratch_bytes\": " << r.scratch_bytes
+       << ", \"resident_bytes\": " << r.resident_bytes
+       << ", \"numa_node\": " << r.numa_node
+       << ", \"store\": {\"hits\": " << r.store.hits
+       << ", \"misses\": " << r.store.misses
+       << ", \"evictions\": " << r.store.evictions
+       << ", \"repacks\": " << r.store.repacks << "}}";
+  };
   os << "  ],\n"
      << "  \"serving\": {\"rows_per_request\": 1, \"requests\": " << requests
      << ", \"requests_per_s\": " << json_escape_free(requests_per_s)
      << ", \"per_request_us\": "
      << json_escape_free(t_stream * 1e6 / static_cast<double>(requests))
      << ", \"steady_state_pack_b_calls\": " << staged_calls
-     << ", \"steady_state_staged_bytes\": " << staged_bytes << "}\n"
+     << ", \"steady_state_staged_bytes\": " << staged_bytes << "},\n"
+     << "  \"resident\": {\n"
+     << "    \"hidden\": " << r_hidden << ", \"ffn\": " << r_ffn
+     << ", \"tokens\": " << r_tokens << ",\n";
+  emit_residency("default", res_default);
+  os << ",\n";
+  emit_residency("packed_only", res_packed);
+  os << ",\n"
+     << "    \"packed_only_over_default\": " << json_escape_free(res_ratio)
+     << ",\n"
+     << "    \"weights_plus_packed_over_packed\": "
+     << json_escape_free(res_weight_over_packed) << ",\n"
+     << "    \"outputs_bit_identical\": "
+     << (res_identical ? "true" : "false") << ",\n"
+     << "    \"numa_nodes\": " << numa::num_nodes() << "\n"
+     << "  }\n"
      << "}\n";
   os.close();
   std::cout << "wrote " << out << "\n";
@@ -165,6 +289,18 @@ int main(int argc, char** argv) {
   if (staged_calls != 0) {
     std::cerr << "FAIL: steady-state serving staged weights ("
               << staged_calls << " pack_b_block calls)\n";
+    return 1;
+  }
+  if (!res_identical) {
+    std::cerr << "FAIL: packed-only outputs diverged from default mode\n";
+    return 1;
+  }
+  // ~1x bar for packed-only residency: weights + packed over packed
+  // leaves only the uint8 index matrices on top of the packed form.
+  if (res_weight_over_packed > 1.25) {
+    std::cerr << "FAIL: packed-only resident weight bytes are "
+              << res_weight_over_packed
+              << "x the packed footprint (expected ~1x)\n";
     return 1;
   }
   return 0;

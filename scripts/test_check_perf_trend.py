@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf_trend.py — the perf gate itself is part of
+the regression surface: a gate that silently stops failing is worse
+than no gate. Run directly (python3 scripts/test_check_perf_trend.py)
+or via ctest (registered in CMakeLists.txt).
+
+Covers: same-CPU hard failures (kernel variants, serving, model),
+cross-machine warn-only demotion, shape-mismatch skip, and the
+--write-baseline arming flow.
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_perf_trend  # noqa: E402
+
+
+def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
+             fused_ms=2.0):
+    return {
+        "bench": "bench_resident",
+        "schema_version": 2,
+        "cpu": cpu,
+        "shape": {"m": 256, "n": 2048, "k": 2048},
+        "threads": 1,
+        "variants": [
+            {"variant": "V1", "gflops": 80.0, "ms": 1.0},
+            {"variant": "V3", "gflops": v3, "ms": 1.0},
+        ],
+        "serving": {"requests_per_s": requests_per_s},
+        "model": {"fused_ms": fused_ms, "fused_speedup": 1.2},
+    }
+
+
+class CheckPerfTrendTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.baseline = os.path.join(self.dir.name, "baseline.json")
+        self.fresh = os.path.join(self.dir.name, "fresh.json")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, path, doc):
+        with open(path, "w") as f:
+            json.dump(doc, f)
+
+    def run_gate(self, *extra):
+        return check_perf_trend.main([self.baseline, self.fresh, *extra])
+
+    def test_no_regression_passes(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(v3=101.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_variant_regression_fails_on_same_cpu(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(v3=80.0))  # -20% GFLOP/s
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_variant_regression_warns_only_across_cpus(self):
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh, artifact(v3=80.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_unknown_cpu_never_gates_hard(self):
+        self.write(self.baseline, artifact(cpu="unknown"))
+        self.write(self.fresh, artifact(cpu="unknown", v3=50.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_serving_regression_fails_on_same_cpu(self):
+        # The historical bug under test: serving/model were warn-only
+        # even with a verifiably comparable baseline.
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(requests_per_s=3000.0))  # -40%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_model_regression_fails_on_same_cpu(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(fused_ms=3.0))  # +50% latency
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_serving_and_model_warn_only_across_cpus(self):
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh,
+                   artifact(requests_per_s=3000.0, fused_ms=3.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_model_improvement_is_not_a_failure(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(fused_ms=1.0))  # faster
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_shape_mismatch_skips(self):
+        base = artifact()
+        fresh = artifact(v3=10.0)  # huge regression, but incomparable
+        fresh["shape"]["n"] = 4096
+        self.write(self.baseline, base)
+        self.write(self.fresh, fresh)
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_threshold_is_respected(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(v3=85.0))  # -15%
+        self.assertEqual(self.run_gate("--threshold", "0.20"), 0)
+        self.assertEqual(self.run_gate("--threshold", "0.10"), 1)
+
+    def test_write_baseline_adopts_fresh_on_success(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(v3=150.0, cpu="Test CPU v1"))
+        self.assertEqual(self.run_gate("--write-baseline"), 0)
+        with open(self.baseline) as f:
+            adopted = json.load(f)
+        self.assertEqual(adopted["variants"][1]["gflops"], 150.0)
+
+    def test_write_baseline_refuses_on_failure(self):
+        base = artifact()
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(v3=50.0))
+        self.assertEqual(self.run_gate("--write-baseline"), 1)
+        with open(self.baseline) as f:
+            kept = json.load(f)
+        self.assertEqual(kept, base)  # regression must not rewrite it
+
+    def test_write_baseline_bootstraps_missing_baseline(self):
+        fresh = artifact()
+        self.write(self.fresh, fresh)
+        self.assertEqual(self.run_gate("--write-baseline"), 0)
+        with open(self.baseline) as f:
+            self.assertEqual(json.load(f), fresh)
+
+    def test_missing_variant_in_baseline_is_skipped(self):
+        base = artifact()
+        base["variants"] = [v for v in base["variants"]
+                            if v["variant"] != "V3"]
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(v3=1.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_new_sections_in_fresh_do_not_break_old_baselines(self):
+        base = artifact()
+        del base["model"]
+        fresh = artifact()
+        fresh["resident"] = {"packed_only": {"resident_bytes": 1}}
+        self.write(self.baseline, base)
+        self.write(self.fresh, fresh)
+        self.assertEqual(self.run_gate(), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

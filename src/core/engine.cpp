@@ -49,12 +49,14 @@ std::size_t Engine::KeyHash::operator()(const Key& k) const noexcept {
   return h;
 }
 
-Engine::Engine(EngineOptions options) : options_(options) {
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   if (options_.plan_cache_capacity == 0) options_.plan_cache_capacity = 1;
   if (options_.min_batch_bucket < 1) options_.min_batch_bucket = 1;
   // Aliases the process-global pool for the default thread count, so a
   // process mixing engines and standalone plans runs one worker set.
   pool_ = ThreadPool::shared(options_.num_threads);
+  store_ = options_.weight_store != nullptr ? options_.weight_store
+                                            : mem::WeightStore::global();
 }
 
 index_t Engine::bucket_batch(index_t m, index_t min_bucket) {
@@ -83,15 +85,32 @@ StatusOr<std::shared_ptr<const SpmmPlan>> Engine::plan_for(
   // The engine's pool (or its serial mode) decides the threading, not
   // the per-call option — normalize it so it can't fragment the cache,
   // and so a serial engine's null pool_ stays serial inside the plan.
+  // Residency is engine policy for the same reason.
   options.num_threads = normalized_num_threads();
+  options.residency = options_.residency;
+  if (options.residency == mem::ResidencyMode::kPackedOnly &&
+      options.variant == KernelVariant::kReference) {
+    return Status::FailedPrecondition(
+        "packed-only residency releases the B' values after packing; the "
+        "reference (unpacked) variant cannot serve such a plan");
+  }
   Key key{B.get(), bucket_batch(m, options_.min_batch_bucket), options};
 
   {
     std::lock_guard lock(mutex_);
     if (auto it = index_.find(key); it != index_.end()) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
-      return it->second->plan;
+      // The raw key pointer is only trustworthy while the matrix it was
+      // built for is alive (packed-only plans do not keep it alive
+      // themselves): a dead origin means the address may belong to a
+      // different matrix now — rebuild instead of serving stale tiles.
+      if (it->second->origin.lock() == B) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+        return it->second->plan;
+      }
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.evictions;
     }
     ++stats_.misses;
   }
@@ -103,7 +122,7 @@ StatusOr<std::shared_ptr<const SpmmPlan>> Engine::plan_for(
   std::shared_ptr<const SpmmPlan> plan;
   try {
     plan = std::make_shared<const SpmmPlan>(
-        SpmmPlan::create(key.bucket_m, std::move(B), options, pool_));
+        SpmmPlan::create(key.bucket_m, B, options, pool_, store_));
   } catch (const CheckError& e) {
     return Status::InvalidArgument(e.what());
   } catch (const std::exception& e) {
@@ -112,10 +131,15 @@ StatusOr<std::shared_ptr<const SpmmPlan>> Engine::plan_for(
 
   std::lock_guard lock(mutex_);
   if (auto it = index_.find(key); it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->plan;
+    if (it->second->origin.lock() == B) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->plan;
+    }
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.evictions;
   }
-  lru_.push_front(Entry{key, plan});
+  lru_.push_front(Entry{key, plan, B});
   index_.emplace(key, lru_.begin());
   while (lru_.size() > options_.plan_cache_capacity) {
     index_.erase(lru_.back().key);

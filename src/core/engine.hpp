@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/spmm.hpp"
+#include "mem/weight_store.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -49,6 +50,18 @@ struct EngineOptions {
   std::size_t plan_cache_capacity = 64;
   /// Smallest planned batch: requests with m below this share one plan.
   index_t min_batch_bucket = 16;
+  /// Weight residency of every plan this engine builds
+  /// (mem/weight_store.hpp). kPackedOnly releases the original B' value
+  /// buffer after pre-packing: steady-state resident weight bytes drop
+  /// to ~1x the packed footprint, at the cost of rejecting
+  /// values-consuming entry points (reference variant, decompress,
+  /// pack-on-the-fly compat overloads) for those weights.
+  mem::ResidencyMode residency = mem::ResidencyMode::kDefault;
+  /// The WeightStore owning packed-weight residency for this engine's
+  /// plans (interning, max_resident_bytes budget, NUMA placement). Null
+  /// uses the process-global unbudgeted store, which all engines share —
+  /// pass a dedicated store to budget one engine's weights in isolation.
+  std::shared_ptr<mem::WeightStore> weight_store;
 };
 
 class Engine {
@@ -114,6 +127,11 @@ class Engine {
     return pool_ != nullptr ? pool_->size() : 1;
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
+  /// The store owning this engine's packed-weight residency.
+  [[nodiscard]] const std::shared_ptr<mem::WeightStore>& weight_store()
+      const {
+    return store_;
+  }
 
   /// The per-call thread-count value this engine actually plans with
   /// (the engine's pool or serial mode decides threading, not the
@@ -147,6 +165,12 @@ class Engine {
   struct Entry {
     Key key;
     std::shared_ptr<const SpmmPlan> plan;
+    /// Liveness guard for the raw weights pointer in the key. Default
+    /// plans hold the weights themselves, but packed-only plans strip
+    /// and drop the original — if the caller then releases it too, this
+    /// expires and the entry is discarded instead of matching a
+    /// different matrix that reused the address.
+    std::weak_ptr<const CompressedNM> origin;
   };
   /// One remembered deep copy of caller-owned weights (the raw-reference
   /// spmm overload). The identity fields plus a sampled content
@@ -167,6 +191,7 @@ class Engine {
 
   EngineOptions options_;
   std::shared_ptr<ThreadPool> pool_;  ///< null when running serially
+  std::shared_ptr<mem::WeightStore> store_;
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used

@@ -20,6 +20,7 @@ std::size_t hash_value(const EpilogueSpec& spec) {
   hash_combine(h, spec.bias ? 1u : 0u);
   hash_combine(h, spec.mul ? 1u : 0u);
   hash_combine(h, spec.act_on_other ? 1u : 0u);
+  hash_combine(h, spec.add ? 1u : 0u);
   return h;
 }
 
@@ -44,6 +45,20 @@ Status validate_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
       std::ostringstream os;
       os << "epilogue operand is " << args.other.rows() << "x"
          << args.other.cols() << " but must match C (" << m << "x" << n
+         << ")";
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  if (spec.add) {
+    if (args.residual.empty()) {
+      return Status::InvalidArgument(
+          "epilogue spec requires a residual operand but "
+          "EpilogueArgs::residual is empty");
+    }
+    if (args.residual.rows() != m || args.residual.cols() != n) {
+      std::ostringstream os;
+      os << "epilogue residual is " << args.residual.rows() << "x"
+         << args.residual.cols() << " but must match C (" << m << "x" << n
          << ")";
       return Status::InvalidArgument(os.str());
     }

@@ -21,6 +21,7 @@
 //    v = acc + (spec.bias ? bias[j] : 0)
 //    if !spec.act_on_other:  v = act(v);        if (spec.mul) v *= other[i][j]
 //    if  spec.act_on_other:  v *= act(other[i][j])   // e.g. silu(gate) (.) up
+//    if  spec.add:           v += residual[i][j]     // C = epilogue(AB) + D
 //    C[i][j] = v
 // apply_epilogue() is the unfused reference implementation of exactly
 // this recipe; the fused kernels must match it bit-for-bit because both
@@ -125,9 +126,14 @@ struct EpilogueSpec {
   /// SwiGLU shape — the up-projection's stores compute up * silu(gate)
   /// without a separate pass over either matrix. Requires mul.
   bool act_on_other = false;
+  /// Residual add: after everything above, add a second m x n operand
+  /// (EpilogueArgs::residual) — C = epilogue(AB) + D, the transformer
+  /// skip connection, fused into the stores instead of a separate pass
+  /// over C and D.
+  bool add = false;
 
   [[nodiscard]] bool active() const {
-    return act != Activation::kNone || bias || mul;
+    return act != Activation::kNone || bias || mul || add;
   }
   friend bool operator==(const EpilogueSpec&, const EpilogueSpec&) = default;
 };
@@ -141,6 +147,9 @@ struct EpilogueArgs {
   /// Second elementwise operand, same shape as C (required iff spec.mul).
   /// Must not alias C: the fused stores write C before reading other.
   ConstViewF other;
+  /// Residual operand, same shape as C (required iff spec.add). Must not
+  /// alias C for the same reason as other.
+  ConstViewF residual;
 };
 
 /// Check @p args supplies what @p spec needs for an m x n output; returns
@@ -281,34 +290,42 @@ struct EpilogueApply {
   const float* bias = nullptr;   ///< tile-origin column-aligned, or null
   const float* other = nullptr;  ///< tile-origin element, or null
   index_t other_ld = 0;
+  const float* residual = nullptr;  ///< tile-origin element, or null
+  index_t residual_ld = 0;
 
 #if defined(__AVX512F__)
-  __m512 finalize16(__m512 v, int j, const float* orow) const {
+  __m512 finalize16(__m512 v, int j, const float* orow,
+                    const float* rrow) const {
     if (bias != nullptr) v = _mm512_add_ps(v, _mm512_loadu_ps(bias + j));
     if (act_on_other) {
       __m512 o = _mm512_loadu_ps(orow + j);
       if (act == Activation::kSilu) o = silu16(o);
       if (act == Activation::kGelu) o = gelu16(o);
-      return _mm512_mul_ps(v, o);
+      v = _mm512_mul_ps(v, o);
+    } else {
+      if (act == Activation::kSilu) v = silu16(v);
+      if (act == Activation::kGelu) v = gelu16(v);
+      if (orow != nullptr) v = _mm512_mul_ps(v, _mm512_loadu_ps(orow + j));
     }
-    if (act == Activation::kSilu) v = silu16(v);
-    if (act == Activation::kGelu) v = gelu16(v);
-    if (orow != nullptr) v = _mm512_mul_ps(v, _mm512_loadu_ps(orow + j));
+    if (rrow != nullptr) v = _mm512_add_ps(v, _mm512_loadu_ps(rrow + j));
     return v;
   }
 #endif
 #if defined(__AVX2__) && defined(__FMA__)
-  __m256 finalize8(__m256 v, int j, const float* orow) const {
+  __m256 finalize8(__m256 v, int j, const float* orow,
+                   const float* rrow) const {
     if (bias != nullptr) v = _mm256_add_ps(v, _mm256_loadu_ps(bias + j));
     if (act_on_other) {
       __m256 o = _mm256_loadu_ps(orow + j);
       if (act == Activation::kSilu) o = silu8(o);
       if (act == Activation::kGelu) o = gelu8(o);
-      return _mm256_mul_ps(v, o);
+      v = _mm256_mul_ps(v, o);
+    } else {
+      if (act == Activation::kSilu) v = silu8(v);
+      if (act == Activation::kGelu) v = gelu8(v);
+      if (orow != nullptr) v = _mm256_mul_ps(v, _mm256_loadu_ps(orow + j));
     }
-    if (act == Activation::kSilu) v = silu8(v);
-    if (act == Activation::kGelu) v = gelu8(v);
-    if (orow != nullptr) v = _mm256_mul_ps(v, _mm256_loadu_ps(orow + j));
+    if (rrow != nullptr) v = _mm256_add_ps(v, _mm256_loadu_ps(rrow + j));
     return v;
   }
 #endif
@@ -334,7 +351,10 @@ struct EpilogueApply {
         float* cij = c + i * ldc + j;
         const float* orow =
             other != nullptr ? other + i * other_ld : nullptr;
-        _mm512_storeu_ps(cij, finalize16(_mm512_loadu_ps(cij), j, orow));
+        const float* rrow =
+            residual != nullptr ? residual + i * residual_ld : nullptr;
+        _mm512_storeu_ps(cij,
+                         finalize16(_mm512_loadu_ps(cij), j, orow, rrow));
       }
     }
 #endif
@@ -344,7 +364,9 @@ struct EpilogueApply {
         float* cij = c + i * ldc + j;
         const float* orow =
             other != nullptr ? other + i * other_ld : nullptr;
-        _mm256_storeu_ps(cij, finalize8(_mm256_loadu_ps(cij), j, orow));
+        const float* rrow =
+            residual != nullptr ? residual + i * residual_ld : nullptr;
+        _mm256_storeu_ps(cij, finalize8(_mm256_loadu_ps(cij), j, orow, rrow));
       }
     }
 #endif
@@ -360,6 +382,7 @@ struct EpilogueApply {
           v = apply_activation(act, v);
           if (orow != nullptr) v *= orow[j];
         }
+        if (residual != nullptr) v += residual[i * residual_ld + j];
         c[i * ldc + j] = v;
       }
     }
@@ -373,13 +396,20 @@ struct EpilogueApply {
   /// compute shadow.
   void prefetch(int rows, int width) const {
 #if defined(__SSE__) || defined(__AVX__)
-    if (other == nullptr) return;
     for (int i = 0; i < rows; ++i) {
-      const char* row = reinterpret_cast<const char*>(other + i * other_ld);
-      _mm_prefetch(row, _MM_HINT_T0);
       // An unaligned strip can straddle a line boundary; touching the
       // last element's line too costs nothing when it is the same line.
-      _mm_prefetch(row + (width - 1) * sizeof(float), _MM_HINT_T0);
+      if (other != nullptr) {
+        const char* row = reinterpret_cast<const char*>(other + i * other_ld);
+        _mm_prefetch(row, _MM_HINT_T0);
+        _mm_prefetch(row + (width - 1) * sizeof(float), _MM_HINT_T0);
+      }
+      if (residual != nullptr) {
+        const char* row =
+            reinterpret_cast<const char*>(residual + i * residual_ld);
+        _mm_prefetch(row, _MM_HINT_T0);
+        _mm_prefetch(row + (width - 1) * sizeof(float), _MM_HINT_T0);
+      }
     }
 #else
     (void)rows;
@@ -395,12 +425,20 @@ struct EpilogueApply {
   /// 64-byte strip.
   void prefetch_block(index_t rows, index_t cols) const {
 #if defined(__SSE__) || defined(__AVX__)
-    if (other == nullptr) return;
+    if (other == nullptr && residual == nullptr) return;
     constexpr index_t kFloatsPerLine = 64 / sizeof(float);
     for (index_t i = 0; i < rows; ++i) {
-      const float* row = other + i * other_ld;
-      for (index_t j = 0; j < cols; j += kFloatsPerLine) {
-        _mm_prefetch(reinterpret_cast<const char*>(row + j), _MM_HINT_T1);
+      if (other != nullptr) {
+        const float* row = other + i * other_ld;
+        for (index_t j = 0; j < cols; j += kFloatsPerLine) {
+          _mm_prefetch(reinterpret_cast<const char*>(row + j), _MM_HINT_T1);
+        }
+      }
+      if (residual != nullptr) {
+        const float* row = residual + i * residual_ld;
+        for (index_t j = 0; j < cols; j += kFloatsPerLine) {
+          _mm_prefetch(reinterpret_cast<const char*>(row + j), _MM_HINT_T1);
+        }
       }
     }
 #else
@@ -416,7 +454,9 @@ struct EpilogueApply {
             act_on_other,
             bias != nullptr ? bias + dj : nullptr,
             other != nullptr ? other + di * other_ld + dj : nullptr,
-            other_ld};
+            other_ld,
+            residual != nullptr ? residual + di * residual_ld + dj : nullptr,
+            residual_ld};
   }
 
   /// Root an EpilogueApply at C's (0, 0) from the validated spec + args.
@@ -428,6 +468,8 @@ struct EpilogueApply {
     e.bias = spec.bias ? args.bias : nullptr;
     e.other = spec.mul ? args.other.data() : nullptr;
     e.other_ld = spec.mul ? args.other.ld() : 0;
+    e.residual = spec.add ? args.residual.data() : nullptr;
+    e.residual_ld = spec.add ? args.residual.ld() : 0;
     return e;
   }
 };

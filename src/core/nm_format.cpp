@@ -55,6 +55,10 @@ CompressedNM compress(ConstViewF B, const NMMask& mask) {
 }
 
 MatrixF decompress(const CompressedNM& compressed) {
+  NMSPMM_CHECK_MSG(compressed.has_values(),
+                   "cannot decompress a values-stripped CompressedNM: under "
+                   "packed-only residency the values live only in the "
+                   "PackedWeights form");
   const index_t k = compressed.orig_rows;
   const index_t n = compressed.cols;
   const index_t L = compressed.config.vector_length;
@@ -72,6 +76,15 @@ MatrixF decompress(const CompressedNM& compressed) {
     }
   }
   return dense;
+}
+
+CompressedNM strip_values(const CompressedNM& B) {
+  CompressedNM out;
+  out.config = B.config;
+  out.orig_rows = B.orig_rows;
+  out.cols = B.cols;
+  out.indices = B.indices;
+  return out;
 }
 
 bool matches_mask(ConstViewF B, const NMMask& mask) {

@@ -38,21 +38,36 @@ struct NMMask {
 };
 
 /// Compressed matrix: values + index matrix, ready for the SpMM kernels.
+///
+/// The value matrix may be absent (see strip_values): under packed-only
+/// residency the plan-time PackedWeights is the sole resident copy of
+/// the weight values, and the CompressedNM keeps only the shape, config
+/// and index matrix needed for plan validation. Anything that reads
+/// values must gate on has_values() — the resident kernel path never
+/// does; decompress and the pack-on-the-fly compat entry points do.
 struct CompressedNM {
   NMConfig config;
   index_t orig_rows = 0;   ///< k (unpadded)
   index_t cols = 0;        ///< n
-  MatrixF values;          ///< w x n
+  MatrixF values;          ///< w x n (empty after strip_values)
   Matrix<std::uint8_t> indices;  ///< w x q (== the mask's keep matrix)
 
-  [[nodiscard]] index_t rows() const { return values.rows(); }          // w
+  // w — via the index matrix, which always has the compressed row count
+  // and survives strip_values.
+  [[nodiscard]] index_t rows() const { return indices.rows(); }
   [[nodiscard]] index_t num_groups() const { return indices.cols(); }   // q
   [[nodiscard]] index_t source_row(index_t u, index_t g) const {
     return (u / config.n) * config.m + indices(u, g);
   }
-  /// Bytes of the compressed representation (values + indices).
+  /// False after strip_values: the value bytes live only in the packed
+  /// form and every values-consuming path must be rejected.
+  [[nodiscard]] bool has_values() const { return !values.empty(); }
+  /// Bytes of the compressed representation (values, when resident,
+  /// plus indices).
   [[nodiscard]] std::size_t footprint_bytes() const {
-    return static_cast<std::size_t>(rows()) * cols * sizeof(float) +
+    return (has_values()
+                ? static_cast<std::size_t>(rows()) * cols * sizeof(float)
+                : 0) +
            static_cast<std::size_t>(rows()) * num_groups();
   }
 };
@@ -62,8 +77,17 @@ struct CompressedNM {
 CompressedNM compress(ConstViewF B, const NMMask& mask);
 
 /// Scatter a compressed matrix back to dense k x n form; pruned positions
-/// become zero. Inverse of compress over the kept positions.
+/// become zero. Inverse of compress over the kept positions. Throws
+/// CheckError when the values were stripped (packed-only residency).
 MatrixF decompress(const CompressedNM& compressed);
+
+/// Copy of @p B without the value matrix — the packed-only residency
+/// form: shape, config and the index matrix survive (so rows(),
+/// PackedWeights::matches and plan validation keep working) while the
+/// w x n value bytes are released. The packed form built from @p B
+/// becomes the only resident copy of the values; rebuilding a
+/// PackedWeights from the stripped matrix is impossible.
+CompressedNM strip_values(const CompressedNM& B);
 
 /// True if dense @p B already satisfies the N:M pattern of @p mask (all
 /// positions outside the mask are exactly zero).

@@ -13,4 +13,5 @@
 #include "core/spmm.hpp"         // IWYU pragma: export
 #include "core/spmm_kernels.hpp" // IWYU pragma: export
 #include "core/spmm_ref.hpp"     // IWYU pragma: export
+#include "mem/weight_store.hpp"  // IWYU pragma: export
 #include "model/ffn.hpp"         // IWYU pragma: export

@@ -1,14 +1,20 @@
 #include "core/packed_weights.hpp"
 
 #include <algorithm>
-#include <mutex>
-#include <unordered_map>
+#include <atomic>
 
 #include "core/col_info.hpp"
 #include "core/pack.hpp"
-#include "util/hash.hpp"
+#include "util/numa_alloc.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nmspmm {
+
+namespace {
+
+std::atomic<std::uint64_t> g_build_count{0};
+
+}  // namespace
 
 const char* to_string(PackedWeights::IndexKind kind) {
   switch (kind) {
@@ -18,11 +24,20 @@ const char* to_string(PackedWeights::IndexKind kind) {
   return "?";
 }
 
+std::uint64_t PackedWeights::build_count() {
+  return g_build_count.load(std::memory_order_relaxed);
+}
+
 PackedWeights PackedWeights::build(const CompressedNM& B, index_t ks,
                                    index_t ns, IndexKind kind,
-                                   const ColInfo* col_info) {
+                                   const ColInfo* col_info,
+                                   const Placement* placement) {
   const NMConfig& cfg = B.config;
   cfg.validate();
+  NMSPMM_CHECK_MSG(B.has_values(),
+                   "cannot pack a values-stripped CompressedNM: under "
+                   "packed-only residency the packed form is the only "
+                   "resident copy of the values and cannot be rebuilt");
   NMSPMM_CHECK_MSG(ks > 0 && ks % cfg.m == 0,
                    "ks must be a positive multiple of M, got " << ks);
   NMSPMM_CHECK_MSG(ns > 0, "ns must be positive");
@@ -73,17 +88,55 @@ PackedWeights PackedWeights::build(const CompressedNM& B, index_t ks,
   }
 
   // ---- values: one contiguous wb x ldb panel per tile, in execution
-  // order. pack_b_block produces the exact bytes the per-call staging
-  // used to, so the resident path is bit-identical to the staged one.
-  pw.values_.assign(
-      static_cast<std::size_t>(num_tiles * pw.value_stride_), 0.0f);
+  // order. The buffer is zero-filled (padding rows/columns must read as
+  // zero) by the workers that will execute each n-block partition, so
+  // Linux first-touch places every partition's tiles on its executing
+  // worker's NUMA node; pack_b_block then produces the exact bytes the
+  // per-call staging used to, so the resident path is bit-identical to
+  // the staged one.
+  pw.value_count_ = static_cast<std::size_t>(num_tiles * pw.value_stride_);
+  pw.values_ = AlignedBuffer(pw.value_count_ * sizeof(float));
+  float* const values = pw.values_.as<float>();
+  {
+    // An explicit node bind must precede the zero-fill: set while the
+    // pages are still unfaulted, the policy governs every fault below
+    // (no migration needed; MPOL_MF_MOVE in bind_to_node covers stray
+    // pre-faulted pages). First-touch placement is then moot.
+    const bool bound =
+        placement != nullptr && placement->bind_node >= 0 &&
+        numa::bind_to_node(values, pw.value_count_ * sizeof(float),
+                           placement->bind_node);
+    ThreadPool* pool =
+        !bound && placement != nullptr && placement->numa_first_touch
+            ? placement->pool
+            : nullptr;
+    const std::size_t tile_bytes =
+        static_cast<std::size_t>(pw.value_stride_) * sizeof(float);
+    // Partition by n-block, mirroring spmm_blocked's nc partitioning:
+    // tiles are nb-major, so each worker touches one contiguous range.
+    parallel_for(pool, 0, pw.num_nblocks_, [&](index_t nb_lo, index_t nb_hi) {
+      numa::first_touch_zero(
+          reinterpret_cast<char*>(values) +
+              static_cast<std::size_t>(nb_lo * pw.num_chunks_) * tile_bytes,
+          static_cast<std::size_t>((nb_hi - nb_lo) * pw.num_chunks_) *
+              tile_bytes);
+    });
+    // Record the resolved placement: one node when the whole buffer
+    // agrees, -1 when mixed (per-worker first touch across sockets) or
+    // undeterminable.
+    if (pw.value_count_ > 0) {
+      const int first = numa::node_of(values);
+      const int last = numa::node_of(values + pw.value_count_ - 1);
+      pw.numa_node_ = first == last ? first : -1;
+    }
+  }
   for (index_t nb = 0; nb < pw.num_nblocks_; ++nb) {
     const index_t j0 = nb * ns;
     const index_t jb = std::min(ns, B.cols - j0);
     for (index_t chunk = 0; chunk < pw.num_chunks_; ++chunk) {
       const index_t u0 = chunk * pw.ws_full_;
       const index_t wb = std::min(pw.ws_full_, B.rows() - u0);
-      float* tile = pw.values_.data() +
+      float* tile = values +
                     static_cast<std::size_t>(pw.tile_ordinal(chunk, nb)) *
                         static_cast<std::size_t>(pw.value_stride_);
       detail::pack_b_block(B.values.view(), u0, wb, j0, jb, tile, pw.ldb_);
@@ -157,95 +210,8 @@ PackedWeights PackedWeights::build(const CompressedNM& B, index_t ks,
       pw.cols_offsets_[t] += pw.cols_offsets_[t - 1];
     }
   }
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
   return pw;
-}
-
-namespace {
-
-struct PackKey {
-  const CompressedNM* weights = nullptr;
-  index_t ks = 0;
-  index_t ns = 0;
-  int kind = 0;
-
-  friend bool operator==(const PackKey&, const PackKey&) = default;
-};
-
-struct PackKeyHash {
-  std::size_t operator()(const PackKey& k) const noexcept {
-    std::size_t h = std::hash<const void*>{}(k.weights);
-    hash_combine(h, static_cast<std::size_t>(k.ks));
-    hash_combine(h, static_cast<std::size_t>(k.ns));
-    hash_combine(h, static_cast<std::size_t>(k.kind));
-    return h;
-  }
-};
-
-/// Weakly-held interning entry. The weights weak_ptr doubles as the
-/// address-reuse guard: the raw pointer in the key can only name the
-/// matrix it was interned for while that matrix is still alive.
-struct PackEntry {
-  std::weak_ptr<const CompressedNM> weights;
-  std::weak_ptr<const PackedWeights> packed;
-};
-
-std::mutex g_pack_mutex;
-std::unordered_map<PackKey, PackEntry, PackKeyHash>& pack_registry() {
-  static auto* registry =
-      new std::unordered_map<PackKey, PackEntry, PackKeyHash>();
-  return *registry;
-}
-
-void prune_expired_locked() {
-  auto& registry = pack_registry();
-  for (auto it = registry.begin(); it != registry.end();) {
-    if (it->second.packed.expired()) {
-      it = registry.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-}  // namespace
-
-std::shared_ptr<const PackedWeights> PackedWeights::shared_for(
-    const std::shared_ptr<const CompressedNM>& B, index_t ks, index_t ns,
-    IndexKind kind) {
-  NMSPMM_CHECK(B != nullptr);
-  const PackKey key{B.get(), ks, ns, static_cast<int>(kind)};
-  {
-    std::lock_guard lock(g_pack_mutex);
-    auto& registry = pack_registry();
-    if (auto it = registry.find(key); it != registry.end()) {
-      auto weights = it->second.weights.lock();
-      auto packed = it->second.packed.lock();
-      // Alive and still the same object (address reuse implies the old
-      // owner died first, which would have expired the weak_ptr).
-      if (weights == B && packed != nullptr) return packed;
-      registry.erase(it);
-    }
-  }
-
-  // Build outside the lock — packing is O(weights) and must not stall
-  // concurrent plan builds for other matrices. Racing builders for one
-  // key are rare (plan_for already dedups most); the loser's copy is
-  // dropped in favor of the first insert.
-  auto packed = std::make_shared<const PackedWeights>(build(*B, ks, ns, kind));
-
-  std::lock_guard lock(g_pack_mutex);
-  auto& registry = pack_registry();
-  if (auto it = registry.find(key); it != registry.end()) {
-    auto weights = it->second.weights.lock();
-    if (auto existing = it->second.packed.lock();
-        existing != nullptr && weights == B) {
-      return existing;
-    }
-    registry.erase(it);
-  }
-  if (registry.size() >= 256) prune_expired_locked();
-  registry.emplace(key, PackEntry{B, packed});
-  return packed;
 }
 
 }  // namespace nmspmm

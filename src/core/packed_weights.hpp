@@ -22,12 +22,12 @@
 //     staging needs, copied tile-contiguous so execution does not touch
 //     the ColInfo object at all.
 //
-// One PackedWeights is built per (weights, ks, ns, kind) and shared: the
-// plan cache's batch-size buckets all point at the same instance through
-// shared_for()'s interning registry, so packing cost and footprint are
-// paid once per served model, not per bucket (and certainly not per
-// call). The footprint is ~B' again (values + padding) plus 2x the D
-// index matrix — see footprint_bytes().
+// Residency of the packed forms is owned by mem::WeightStore
+// (src/mem/weight_store.hpp): one PackedWeights is built per
+// (weights, ks, ns, kind) and every batch-size bucket of the plan cache
+// shares it through a store lease, which also enforces the byte budget
+// and the packed-only mode. The footprint is ~B' again (values +
+// padding) plus 2x the D index matrix — see footprint_bytes().
 #pragma once
 
 #include <cstdint>
@@ -37,10 +37,12 @@
 
 #include "core/kernel_params.hpp"
 #include "core/nm_format.hpp"
+#include "util/aligned_buffer.hpp"
 
 namespace nmspmm {
 
 class ColInfo;
+class ThreadPool;
 
 class PackedWeights {
  public:
@@ -54,23 +56,36 @@ class PackedWeights {
   ///    not supplied).
   enum class IndexKind { kDirect, kRemapped };
 
+  /// NUMA placement request for the resident value tiles. The value
+  /// pages are zero-filled (first-touched) by @p pool's workers, each
+  /// touching the contiguous n-block partition it will stream at
+  /// execute time, so on a multi-socket host the tiles live on the node
+  /// of the worker that reads them. @p bind_node >= 0 additionally
+  /// mbinds the whole buffer to one node (explicit placement for
+  /// sharded serving). Both degrade to plain zero-fill on single-node
+  /// or non-Linux hosts.
+  struct Placement {
+    ThreadPool* pool = nullptr;
+    bool numa_first_touch = true;
+    int bind_node = -1;
+  };
+
   /// Pre-pack @p B for chunk depth @p ks and block width @p ns. For
   /// kRemapped a caller-provided @p col_info (built with the same ks/ns)
   /// is reused; pass nullptr to build it internally. Throws CheckError
   /// on invalid blocking — including ks > kMaxKs, which would wrap the
-  /// uint16 streams (the same guard validate_params enforces).
+  /// uint16 streams (the same guard validate_params enforces) — and on
+  /// values-stripped @p B (packed-only residency keeps no source to
+  /// pack from).
   static PackedWeights build(const CompressedNM& B, index_t ks, index_t ns,
                              IndexKind kind,
-                             const ColInfo* col_info = nullptr);
+                             const ColInfo* col_info = nullptr,
+                             const Placement* placement = nullptr);
 
-  /// Interned variant of build(): one shared instance per live
-  /// (weights identity, ks, ns, kind). This is what lets every
-  /// batch-size bucket of the Engine's plan cache share one packed
-  /// form. Entries are weakly held: when the last plan using a packed
-  /// form dies, its memory is released and a later request rebuilds it.
-  static std::shared_ptr<const PackedWeights> shared_for(
-      const std::shared_ptr<const CompressedNM>& B, index_t ks, index_t ns,
-      IndexKind kind);
+  /// Process-wide count of build() completions — the pack-counter used
+  /// by tests asserting "re-plan re-packs exactly once" and by the
+  /// WeightStore's repack accounting.
+  static std::uint64_t build_count();
 
   PackedWeights(PackedWeights&&) noexcept = default;
   PackedWeights& operator=(PackedWeights&&) noexcept = default;
@@ -97,7 +112,7 @@ class PackedWeights {
   /// what pack_b_block used to stage per call.
   [[nodiscard]] const float* tile_values(index_t chunk,
                                          index_t nblock) const {
-    return values_.data() +
+    return values_.as<float>() +
            static_cast<std::size_t>(tile_ordinal(chunk, nblock)) *
                static_cast<std::size_t>(value_stride_);
   }
@@ -131,10 +146,15 @@ class PackedWeights {
   /// Mean |col_info| / ks over all tiles (1.0 for kDirect).
   [[nodiscard]] double mean_packing_ratio() const { return packing_ratio_; }
 
-  /// Resident bytes of the packed form — what one entry adds to the plan
-  /// cache's memory footprint on top of the CompressedNM itself.
+  /// The NUMA node backing the value tiles, when placement resolved to
+  /// one node; -1 for unknown, mixed (per-worker first touch across
+  /// nodes), or single-node hosts.
+  [[nodiscard]] int numa_node() const { return numa_node_; }
+
+  /// Resident bytes of the packed form — what one entry adds to the
+  /// WeightStore's resident footprint on top of the CompressedNM itself.
   [[nodiscard]] std::size_t footprint_bytes() const {
-    return values_.size() * sizeof(float) +
+    return value_count_ * sizeof(float) +
            indices_.size() * sizeof(std::uint16_t) +
            cols_pool_.size() * sizeof(std::int32_t);
   }
@@ -163,8 +183,10 @@ class PackedWeights {
   index_t num_nblocks_ = 0;
   index_t value_stride_ = 0;  ///< floats per tile (ws_full * ldb)
   double packing_ratio_ = 1.0;
+  int numa_node_ = -1;
 
-  std::vector<float> values_;           ///< tile-major resident B'
+  AlignedBuffer values_;        ///< tile-major resident B'
+  std::size_t value_count_ = 0; ///< floats in values_
   std::vector<std::uint16_t> indices_;  ///< flattened per-group streams
   std::vector<index_t> index_offsets_;  ///< per-tile base into indices_
   std::vector<std::int32_t> cols_pool_;     ///< kRemapped: packed columns

@@ -15,6 +15,7 @@ std::size_t hash_value(const SpmmOptions& o) {
   hash_combine(h, o.rescale ? 1u : 0u);
   hash_combine(h, o.num_threads);
   hash_combine(h, hash_value(o.epilogue));
+  hash_combine(h, static_cast<std::size_t>(o.residency));
   if (o.params) {
     const BlockingParams& p = *o.params;
     for (index_t f : {p.ms, p.ns, p.ks, p.mt, p.nt, p.mr, p.nr}) {
@@ -31,7 +32,8 @@ SpmmPlan SpmmPlan::create(index_t m, CompressedNM B, SpmmOptions options) {
 
 SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
                           SpmmOptions options,
-                          std::shared_ptr<ThreadPool> pool) {
+                          std::shared_ptr<ThreadPool> pool,
+                          std::shared_ptr<mem::WeightStore> store) {
   NMSPMM_CHECK(B != nullptr);
   NMSPMM_CHECK_MSG(m >= 1, "planned batch m must be positive");
   NMSPMM_CHECK_MSG(!(options.epilogue.active() && options.rescale),
@@ -39,6 +41,10 @@ SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
                    "scale must precede the activation");
   NMSPMM_CHECK_MSG(!options.epilogue.act_on_other || options.epilogue.mul,
                    "epilogue act_on_other requires mul");
+  NMSPMM_CHECK_MSG(options.variant != KernelVariant::kReference ||
+                       options.residency == mem::ResidencyMode::kDefault,
+                   "the reference variant reads B' values on every execute "
+                   "and cannot run under packed-only residency");
   B->config.validate();
   SpmmPlan plan;
   plan.weights_ = std::move(B);
@@ -81,12 +87,35 @@ SpmmPlan SpmmPlan::create(index_t m, std::shared_ptr<const CompressedNM> B,
 
   // Offline pre-processing, all folded into the plan-time pre-packed
   // weights (Listing 3 lines 2-6 collapse into PackedWeights::build):
-  // tile-resident B' plus flattened index streams, interned so every
-  // batch-size bucket of one weight matrix shares a single packed form.
+  // tile-resident B' plus flattened index streams, interned through the
+  // WeightStore so every batch-size bucket of one weight matrix shares
+  // a single packed form — and so the store can budget, evict, and
+  // NUMA-place it.
   if (options.variant != KernelVariant::kReference) {
-    plan.packed_ = PackedWeights::shared_for(
+    if (store == nullptr) store = mem::WeightStore::global();
+    plan.lease_ = store->acquire(
         plan.weights_, plan.params_.ks, plan.params_.ns,
-        packed_kind_for(options.variant, plan.use_packing_));
+        packed_kind_for(options.variant, plan.use_packing_),
+        options.residency, plan.pool_);
+    {
+      // Freshly acquired leases are resident; record the structural
+      // packing ratio now so later stats never force a repack.
+      const auto payload = plan.lease_->pin();
+      plan.packing_ratio_ = payload->mean_packing_ratio();
+      // Permanently resident forms skip the per-execute pin round-trip.
+      if (!plan.lease_->evictable()) plan.packed_ = payload;
+    }
+    if (options.residency == mem::ResidencyMode::kPackedOnly) {
+      // Release the original B' value buffer: the packed form is now
+      // the only resident copy of the weight values. The stripped
+      // matrix keeps shape/config/indices for execute-time validation.
+      plan.weights_ =
+          std::make_shared<const CompressedNM>(strip_values(*plan.weights_));
+    }
+  } else {
+    NMSPMM_CHECK_MSG(plan.weights_->has_values(),
+                     "the reference variant needs B' values, which were "
+                     "stripped (packed-only residency)");
   }
   return plan;
 }
@@ -118,6 +147,27 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C,
   }
   NMSPMM_RETURN_IF_ERROR(validate_epilogue(options_.epilogue, epilogue_args,
                                            C.rows(), C.cols()));
+  if (options_.variant == KernelVariant::kReference && !B.has_values()) {
+    return Status::FailedPrecondition(
+        "this plan's weights were values-stripped (packed-only residency); "
+        "the reference variant and other unpacked entry points cannot "
+        "serve it");
+  }
+  // Pin the packed form for the duration of the kernel: under a store
+  // budget the tiles cannot be evicted out from under the execute, and
+  // an evicted form is transparently repacked here. Permanently
+  // resident plans (packed_ set) skip the round-trip.
+  std::shared_ptr<const PackedWeights> pinned;
+  const PackedWeights* packed = packed_.get();
+  if (packed == nullptr && lease_ != nullptr) {
+    try {
+      pinned = lease_->pin();
+    } catch (const CheckError& e) {
+      // Repack needed but the source weights died.
+      return Status::FailedPrecondition(e.what());
+    }
+    packed = pinned.get();
+  }
   ThreadPool* pool = pool_.get();
   try {
     switch (options_.variant) {
@@ -128,15 +178,15 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C,
         apply_epilogue(options_.epilogue, epilogue_args, C);
         return Status::Ok();
       case KernelVariant::kV1:
-        spmm_v1(A, B, C, params_, *packed_, pool, options_.epilogue,
+        spmm_v1(A, B, C, params_, *packed, pool, options_.epilogue,
                 epilogue_args);
         break;
       case KernelVariant::kV2:
-        spmm_v2(A, B, C, params_, *packed_, pool, options_.epilogue,
+        spmm_v2(A, B, C, params_, *packed, pool, options_.epilogue,
                 epilogue_args);
         break;
       case KernelVariant::kV3:
-        spmm_v3(A, B, C, params_, use_packing_, *packed_, pool,
+        spmm_v3(A, B, C, params_, use_packing_, *packed, pool,
                 options_.epilogue, epilogue_args);
         break;
     }
@@ -154,10 +204,6 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C,
     return Status::Internal(e.what());
   }
   return Status::Ok();
-}
-
-double SpmmPlan::packing_ratio() const {
-  return packed_ != nullptr ? packed_->mean_packing_ratio() : 1.0;
 }
 
 }  // namespace nmspmm

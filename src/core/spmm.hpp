@@ -32,6 +32,7 @@
 #include "core/nm_format.hpp"
 #include "core/packed_weights.hpp"
 #include "core/spmm_kernels.hpp"
+#include "mem/weight_store.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nmspmm {
@@ -62,11 +63,18 @@ struct SpmmOptions {
   /// Plans built by an Engine run on the engine's pool instead.
   unsigned num_threads = 0;
   /// Post-ops fused into the final k-chunk's stores (bias, SiLU/GELU,
-  /// elementwise mul — see core/epilogue.hpp). Structural only: the
-  /// operands are bound per call via execute(A, C, EpilogueArgs).
-  /// Incompatible with rescale (the scale would land after the
-  /// nonlinearity instead of before it).
+  /// elementwise mul, residual add — see core/epilogue.hpp). Structural
+  /// only: the operands are bound per call via execute(A, C,
+  /// EpilogueArgs). Incompatible with rescale (the scale would land
+  /// after the nonlinearity instead of before it).
   EpilogueSpec epilogue;
+  /// Weight residency of the plan (mem/weight_store.hpp). kPackedOnly
+  /// releases the original B' value buffer after pre-packing, serving
+  /// from the packed form alone (~1x packed footprint); the reference
+  /// variant and values-consuming compat paths are then rejected.
+  /// Engines overwrite this from EngineOptions::residency, exactly like
+  /// num_threads.
+  mem::ResidencyMode residency = mem::ResidencyMode::kDefault;
 
   friend bool operator==(const SpmmOptions&, const SpmmOptions&) = default;
 };
@@ -84,10 +92,13 @@ class SpmmPlan {
   static SpmmPlan create(index_t m, CompressedNM B, SpmmOptions options = {});
   /// Convenience overload sharing an existing compressed matrix. A
   /// non-null @p pool overrides options.num_threads (the Engine injects
-  /// its shared pool this way).
+  /// its shared pool this way). @p store owns the packed-weight
+  /// residency (interning, budget, NUMA placement); null uses the
+  /// process-global unbudgeted store.
   static SpmmPlan create(index_t m, std::shared_ptr<const CompressedNM> B,
                          SpmmOptions options = {},
-                         std::shared_ptr<ThreadPool> pool = nullptr);
+                         std::shared_ptr<ThreadPool> pool = nullptr,
+                         std::shared_ptr<mem::WeightStore> store = nullptr);
 
   /// C = A (*) (B, D). A must be m' x k with m' <= planned_m() (the
   /// blocking stays valid for smaller batches); C must be m' x n.
@@ -109,21 +120,34 @@ class SpmmPlan {
   [[nodiscard]] const BlockingParams& params() const { return params_; }
   [[nodiscard]] KernelVariant variant() const { return options_.variant; }
   [[nodiscard]] bool uses_packing() const { return use_packing_; }
+  [[nodiscard]] mem::ResidencyMode residency() const {
+    return options_.residency;
+  }
+  /// The weights the plan validates against. Under kPackedOnly this is
+  /// the values-stripped form (shape + config + index matrix only); the
+  /// value bytes live solely in the packed form.
   [[nodiscard]] const CompressedNM& weights() const { return *weights_; }
   [[nodiscard]] const std::shared_ptr<const CompressedNM>& shared_weights()
       const {
     return weights_;
   }
-  /// The plan-time pre-packed weights this plan executes against (null
-  /// only for the kReference variant). Pre-packed forms are interned:
-  /// plans for different batch-size buckets of the same weights under
-  /// the same blocking share one instance.
+  /// The permanently resident pre-packed weights (null for the
+  /// kReference variant, and for plans whose store lease is evictable —
+  /// those pin per execute instead; see weight_lease()). Pre-packed
+  /// forms are interned: plans for different batch-size buckets of the
+  /// same weights under the same blocking share one instance.
   [[nodiscard]] const std::shared_ptr<const PackedWeights>& packed_weights()
       const {
     return packed_;
   }
+  /// The store lease owning this plan's packed-weight residency (null
+  /// only for the kReference variant).
+  [[nodiscard]] const std::shared_ptr<mem::WeightLease>& weight_lease()
+      const {
+    return lease_;
+  }
   /// col_info packing ratio (1.0 when the plan does not pack).
-  [[nodiscard]] double packing_ratio() const;
+  [[nodiscard]] double packing_ratio() const { return packing_ratio_; }
 
  private:
   SpmmPlan() = default;
@@ -133,7 +157,12 @@ class SpmmPlan {
   BlockingParams params_;
   index_t planned_m_ = 0;
   bool use_packing_ = false;
+  double packing_ratio_ = 1.0;
   std::shared_ptr<ThreadPool> pool_;  ///< null: strictly serial execute
+  std::shared_ptr<mem::WeightLease> lease_;
+  /// Strong payload reference, held only when the lease is permanently
+  /// resident (unbudgeted store or packed-only mode): execute() then
+  /// skips the pin round-trip entirely.
   std::shared_ptr<const PackedWeights> packed_;
 };
 

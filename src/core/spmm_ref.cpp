@@ -7,6 +7,9 @@ void spmm_reference(ConstViewF A, const CompressedNM& B, ViewF C,
   NMSPMM_CHECK_MSG(A.cols() == B.orig_rows,
                    "A depth " << A.cols() << " != B rows " << B.orig_rows);
   NMSPMM_CHECK(C.rows() == A.rows() && C.cols() == B.cols);
+  NMSPMM_CHECK_MSG(B.has_values(),
+                   "spmm_reference reads B' values, which were stripped "
+                   "(packed-only residency)");
   const index_t w = B.rows();
   const index_t L = B.config.vector_length;
   const float scale =

@@ -116,6 +116,8 @@ ModelPlan::Stats ModelPlan::stats() const {
   Stats stats;
   stats.planned_tokens = planned_tokens_;
   stats.blocks = blocks_.size();
+  stats.residency = residency_;
+  if (store_ != nullptr) stats.store = store_->stats();
   // Weights and packed forms can be shared between blocks (tied layers,
   // interned PackedWeights): count each resident object once.
   std::unordered_set<const void*> seen;
@@ -124,11 +126,19 @@ ModelPlan::Stats ModelPlan::stats() const {
       stats.weight_bytes += w->footprint_bytes();
     }
   };
+  bool first_node = true;
   auto add_packed = [&](const std::shared_ptr<const SpmmPlan>& plan) {
     if (plan == nullptr) return;
-    const auto& packed = plan->packed_weights();
-    if (packed != nullptr && seen.insert(packed.get()).second) {
-      stats.packed_bytes += packed->footprint_bytes();
+    const auto& lease = plan->weight_lease();
+    if (lease != nullptr && seen.insert(lease.get()).second) {
+      stats.packed_bytes += lease->footprint_bytes();
+      const int node = lease->numa_node();
+      if (first_node) {
+        stats.packed_numa_node = node;
+        first_node = false;
+      } else if (stats.packed_numa_node != node) {
+        stats.packed_numa_node = -1;  // mixed placement
+      }
     }
   };
   for (const FfnBlock& block : blocks_) {
@@ -180,6 +190,8 @@ StatusOr<std::shared_ptr<model::ModelPlan>> Engine::plan_model(
 
   auto plan = std::shared_ptr<model::ModelPlan>(new model::ModelPlan());
   plan->planned_tokens_ = max_tokens;
+  plan->residency_ = options_.residency;
+  plan->store_ = store_;
   plan->plans_.reserve(blocks.size());
   for (const model::FfnBlock& block : blocks) {
     model::ModelPlan::LayerPlans layer;
@@ -226,6 +238,17 @@ StatusOr<std::shared_ptr<model::ModelPlan>> Engine::plan_model(
     return Status::Internal(e.what());
   }
   plan->blocks_ = std::move(blocks);
+  if (options_.residency == mem::ResidencyMode::kPackedOnly) {
+    // The layer plans already hold the values-stripped weights; swap
+    // the blocks over to them so the ModelPlan does not keep the
+    // callers' full copies alive. Once the caller drops theirs, the
+    // packed forms are the only resident weight values.
+    for (std::size_t b = 0; b < plan->blocks_.size(); ++b) {
+      plan->blocks_[b].gate = plan->plans_[b].gate->shared_weights();
+      plan->blocks_[b].up = plan->plans_[b].up->shared_weights();
+      plan->blocks_[b].down = plan->plans_[b].down->shared_weights();
+    }
+  }
   return plan;
 }
 

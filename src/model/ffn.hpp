@@ -93,17 +93,26 @@ class ModelPlan {
   }
   [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
 
-  /// Resident-memory accounting of the whole chain (groundwork for the
-  /// packed-only memory mode): compressed weights, their plan-time
-  /// pre-packed forms (PackedWeights::footprint_bytes, deduplicated —
-  /// interned forms shared between blocks count once), and the
-  /// activation scratch.
+  /// Resident-memory accounting of the whole chain: compressed weights
+  /// (under kPackedOnly only their index matrices — the B' values are
+  /// released after packing), their plan-time pre-packed forms
+  /// (PackedWeights::footprint_bytes, deduplicated — interned forms
+  /// shared between blocks count once), the activation scratch, plus
+  /// the residency mode, NUMA placement, and the backing WeightStore's
+  /// hit/miss/evict/repack counters.
   struct Stats {
     index_t planned_tokens = 0;
     std::size_t blocks = 0;
     std::size_t weight_bytes = 0;   ///< CompressedNM values + indices
     std::size_t packed_bytes = 0;   ///< interned PackedWeights forms
     std::size_t scratch_bytes = 0;  ///< ping-pong activation buffers
+    /// Residency mode every layer plan was built under.
+    mem::ResidencyMode residency = mem::ResidencyMode::kDefault;
+    /// NUMA node of the packed value tiles when they all agree; -1 for
+    /// mixed placement, single-node hosts, or unknown.
+    int packed_numa_node = -1;
+    /// Counters of the WeightStore owning the packed forms.
+    mem::WeightStore::Stats store;
     [[nodiscard]] std::size_t resident_bytes() const {
       return weight_bytes + packed_bytes + scratch_bytes;
     }
@@ -123,6 +132,8 @@ class ModelPlan {
   std::vector<FfnBlock> blocks_;
   std::vector<LayerPlans> plans_;
   index_t planned_tokens_ = 0;
+  mem::ResidencyMode residency_ = mem::ResidencyMode::kDefault;
+  std::shared_ptr<mem::WeightStore> store_;  ///< owns the packed forms
 
   // Ping-pong scratch: the gate output and the fused h = act(gate)(.)up
   // live in separate ffn-wide buffers (the epilogue reads gate after h's

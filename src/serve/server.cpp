@@ -256,7 +256,7 @@ Server::PendingBatch Server::next_batch_locked(
   batch.options = pick_key->options;
   batch.requests = pick->queue.take_batch(budget);
   for (const BatchRequest& r : batch.requests) batch.rows += r.a.rows();
-  pick->busy = true;  // pin against submit-side pruning until accounted
+  ++pick->pins;  // pin against submit-side pruning until accounted
   ++pick->stats.batches;
   if (full) {
     ++pick->stats.full_flushes;
@@ -271,7 +271,7 @@ void Server::prune_idle_groups_locked(const Group* keep) {
   for (auto it = groups_.begin();
        it != groups_.end() && groups_.size() > options_.max_groups;) {
     if (it->second.get() != keep && it->second->queue.empty() &&
-        !it->second->busy) {
+        it->second->pins == 0) {
       accumulate(retired_, it->second->stats);
       ++retired_groups_;
       it = groups_.erase(it);
@@ -381,7 +381,7 @@ void Server::dispatcher_loop() {
         fail_batch(batch, status);
       }
       lock.lock();
-      batch.group->busy = false;
+      --batch.group->pins;
       if (!status.ok()) {
         batch.group->stats.errors +=
             static_cast<std::uint64_t>(batch.requests.size());

@@ -172,9 +172,13 @@ class Server {
     std::shared_ptr<model::ModelPlan> ffn_plan;   ///< FFN groups
     BatchQueue queue;
     GroupStats stats;
-    /// True while the dispatcher serves a batch popped from this group;
-    /// pins the group against submit-side pruning until it is accounted.
-    bool busy = false;
+    /// In-flight batches popped from this group. A pinned group cannot
+    /// be pruned: eviction would drop its weights / plan references
+    /// (and through them the store leases) while a batch still executes
+    /// against them. Mirrors the WeightStore's per-execute pinning one
+    /// layer down; counts (not a flag) so multiple dispatchers can pin
+    /// concurrently.
+    std::uint32_t pins = 0;
   };
   /// A popped batch, ready to execute outside the lock.
   struct PendingBatch {
@@ -201,7 +205,7 @@ class Server {
   /// oldest front request first when several groups are ready. Requires
   /// mutex_ held; returns an empty batch when nothing is ready.
   PendingBatch next_batch_locked(BatchQueue::Clock::time_point now);
-  /// Evict idle, non-busy groups beyond options_.max_groups (except
+  /// Evict idle, unpinned groups beyond options_.max_groups (except
   /// @p keep, the group the caller is still using), folding their stats
   /// into retired_. Requires mutex_ held; safe from both the dispatcher
   /// and submitting threads (bypassed traffic never wakes the

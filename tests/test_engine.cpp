@@ -215,6 +215,57 @@ TEST(EngineCache, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(stats.misses, 4u);
 }
 
+TEST(EngineCache, EvictingLastPlanOfABucketReleasesItsPackedWeights) {
+  // Plan-cache LRU x packed-weights interning: the interned PackedWeights
+  // of a weight matrix must die with the last plan referencing it (no
+  // leak past eviction), and a re-plan must re-pack exactly once — the
+  // build counter (PackedWeights::build_count) is the pack-counter
+  // instrumentation shared with test_packed_weights.
+  Rng rng(604);
+  const index_t k = 64, n = 64;
+  EngineOptions opt;
+  opt.plan_cache_capacity = 2;
+  opt.num_threads = 1;
+  opt.weight_store = std::make_shared<mem::WeightStore>();
+  Engine engine(opt);
+  auto B1 = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+  auto B2 = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  // Pin the blocking so both buckets of B1 share one packed form.
+  SpmmOptions spmm_opt;
+  BlockingParams params = table1_preset(SizeClass::kSmall);
+  params.ks = 32;
+  spmm_opt.params = params;
+
+  const std::uint64_t builds0 = PackedWeights::build_count();
+  NMSPMM_ASSERT_OK(engine.plan_for(16, B1, spmm_opt).status());
+  NMSPMM_ASSERT_OK(engine.plan_for(64, B1, spmm_opt).status());
+  EXPECT_EQ(PackedWeights::build_count() - builds0, 1u)
+      << "two buckets of one weight matrix must share a single pack";
+  EXPECT_EQ(opt.weight_store->stats().leases, 1u);
+  const std::size_t resident_b1 = opt.weight_store->stats().resident_bytes;
+  EXPECT_GT(resident_b1, 0u);
+
+  // Evict bucket 16, then bucket 64 — the *last* plan holding B1's
+  // packed form. Its lease must release the bytes, not leak them.
+  NMSPMM_ASSERT_OK(engine.plan_for(16, B2, spmm_opt).status());
+  NMSPMM_ASSERT_OK(engine.plan_for(64, B2, spmm_opt).status());
+  EXPECT_EQ(engine.cache_stats().size, 2u);
+  {
+    const auto stats = opt.weight_store->stats();
+    EXPECT_EQ(stats.leases, 1u) << "B1's lease must die with its last plan";
+    EXPECT_LT(stats.resident_bytes, 2 * resident_b1)
+        << "evicting both B1 plans leaked B1's PackedWeights";
+  }
+
+  // Re-planning B1 re-packs exactly once, shared again across buckets.
+  const std::uint64_t builds1 = PackedWeights::build_count();
+  NMSPMM_ASSERT_OK(engine.plan_for(16, B1, spmm_opt).status());
+  NMSPMM_ASSERT_OK(engine.plan_for(64, B1, spmm_opt).status());
+  EXPECT_EQ(PackedWeights::build_count() - builds1, 1u)
+      << "re-plan after eviction must re-pack exactly once";
+}
+
 TEST(EngineCache, PlanOutlivesEviction) {
   Rng rng(603);
   const index_t k = 64, n = 64;

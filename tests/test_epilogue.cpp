@@ -17,9 +17,10 @@ namespace nmspmm {
 namespace {
 
 /// Hand-rolled epilogue oracle, written independently of EpilogueApply:
-/// v = acc + bias[j]; v = act(v) (or v *= act(other)); v *= other.
+/// v = acc + bias[j]; v = act(v) (or v *= act(other)); v *= other;
+/// v += residual.
 void hand_rolled(const EpilogueSpec& spec, const float* bias,
-                 ConstViewF other, ViewF C) {
+                 ConstViewF other, ConstViewF residual, ViewF C) {
   for (index_t i = 0; i < C.rows(); ++i) {
     for (index_t j = 0; j < C.cols(); ++j) {
       float v = C(i, j);
@@ -30,6 +31,7 @@ void hand_rolled(const EpilogueSpec& spec, const float* bias,
         v = apply_activation(spec.act, v);
         if (spec.mul) v *= other(i, j);
       }
+      if (spec.add) v += residual(i, j);
       C(i, j) = v;
     }
   }
@@ -40,6 +42,7 @@ struct Problem {
   std::shared_ptr<const CompressedNM> weights;
   std::vector<float> bias;
   MatrixF other;
+  MatrixF residual;
 };
 
 Problem make_problem(index_t m, index_t k, index_t n, const NMConfig& cfg,
@@ -51,6 +54,7 @@ Problem make_problem(index_t m, index_t k, index_t n, const NMConfig& cfg,
   const MatrixF bias_row = random_int_matrix(1, n, rng);
   p.bias.assign(bias_row.row(0), bias_row.row(0) + n);
   p.other = random_int_matrix(m, n, rng);
+  p.residual = random_int_matrix(m, n, rng);
   return p;
 }
 
@@ -58,6 +62,7 @@ EpilogueArgs args_for(const Problem& p, const EpilogueSpec& spec) {
   EpilogueArgs args;
   if (spec.bias) args.bias = p.bias.data();
   if (spec.mul) args.other = p.other.cview();
+  if (spec.add) args.residual = p.residual.cview();
   return args;
 }
 
@@ -72,7 +77,8 @@ MatrixF unfused_expect(const Problem& p, SpmmOptions opt,
   const auto plan = SpmmPlan::create(p.a.rows(), p.weights, opt);
   MatrixF c(p.a.rows(), p.weights->cols);
   plan.execute(p.a.view(), c.view()).check_ok();
-  hand_rolled(spec, p.bias.data(), p.other.cview(), c.view());
+  hand_rolled(spec, p.bias.data(), p.other.cview(), p.residual.cview(),
+              c.view());
   return c;
 }
 
@@ -113,6 +119,32 @@ std::vector<EpilogueSpec> all_specs() {
     s.act_on_other = true;
     specs.push_back(s);
   }
+  {  // residual only: C = AB + D (the skip connection alone)
+    EpilogueSpec s;
+    s.add = true;
+    specs.push_back(s);
+  }
+  {  // projection + residual: C = (AB + bias) + D
+    EpilogueSpec s;
+    s.bias = true;
+    s.add = true;
+    specs.push_back(s);
+  }
+  {  // full gated shape with skip: (acc + bias) * silu(other) + D
+    EpilogueSpec s;
+    s.bias = true;
+    s.act = Activation::kSilu;
+    s.mul = true;
+    s.act_on_other = true;
+    s.add = true;
+    specs.push_back(s);
+  }
+  {  // activation then residual: gelu(acc) + D
+    EpilogueSpec s;
+    s.act = Activation::kGelu;
+    s.add = true;
+    specs.push_back(s);
+  }
   return specs;
 }
 
@@ -120,6 +152,7 @@ TEST(Epilogue, ApplyEpilogueMatchesHandRolled) {
   Rng rng(41);
   const MatrixF acc = random_matrix(9, 35, rng);
   const MatrixF other = random_matrix(9, 35, rng);
+  const MatrixF residual = random_matrix(9, 35, rng);
   const MatrixF bias_row = random_matrix(1, 35, rng);
   const std::vector<float> bias(bias_row.row(0), bias_row.row(0) + 35);
   for (const EpilogueSpec& spec : all_specs()) {
@@ -128,11 +161,14 @@ TEST(Epilogue, ApplyEpilogueMatchesHandRolled) {
     EpilogueArgs args;
     if (spec.bias) args.bias = bias.data();
     if (spec.mul) args.other = other.cview();
+    if (spec.add) args.residual = residual.cview();
     apply_epilogue(spec, args, got.view());
-    hand_rolled(spec, bias.data(), other.cview(), want.view());
+    hand_rolled(spec, bias.data(), other.cview(), residual.cview(),
+                want.view());
     EXPECT_EQ(max_abs_diff(want.cview(), got.cview()), 0.0)
         << "spec act=" << to_string(spec.act) << " bias=" << spec.bias
-        << " mul=" << spec.mul << " act_on_other=" << spec.act_on_other;
+        << " mul=" << spec.mul << " act_on_other=" << spec.act_on_other
+        << " add=" << spec.add;
   }
 }
 
@@ -202,12 +238,14 @@ TEST(Epilogue, CompatKernelEntryPointsApplyTheEpilogue) {
   spec.bias = true;
   spec.act = Activation::kGelu;
   spec.mul = true;
+  spec.add = true;
   const EpilogueArgs args = args_for(p, spec);
 
   // Unfused oracle straight from the reference kernel + hand-rolled pass.
   MatrixF want(19, 88);
   spmm_reference(p.a.view(), *p.weights, want.view(), /*rescale=*/false);
-  hand_rolled(spec, p.bias.data(), p.other.cview(), want.view());
+  hand_rolled(spec, p.bias.data(), p.other.cview(), p.residual.cview(),
+              want.view());
 
   MatrixF c1(19, 88);
   spmm_v1(p.a.view(), *p.weights, c1.view(), params, /*pool=*/nullptr, spec,
@@ -276,7 +314,7 @@ TEST(Epilogue, FloatOperandsStayWithinUlpScaleOfReference) {
 
   MatrixF want(m, n);
   spmm_reference(A.view(), *B, want.view(), false);
-  hand_rolled(spec, nullptr, other.cview(), want.view());
+  hand_rolled(spec, nullptr, other.cview(), ConstViewF{}, want.view());
 
   SpmmOptions opt;
   opt.epilogue = spec;
@@ -316,6 +354,21 @@ TEST(Epilogue, ValidatesOperandsAndRejectsBadCombinations) {
   bad_shape.other = wrong.cview();
   EXPECT_EQ(plan.execute(p.a.view(), c.view(), bad_shape).code(),
             StatusCode::kInvalidArgument);
+  // Residual spec without (or with a mis-shaped) residual operand.
+  EpilogueSpec add_spec;
+  add_spec.add = true;
+  SpmmOptions add_opt;
+  add_opt.epilogue = add_spec;
+  const auto add_plan = SpmmPlan::create(8, p.weights, add_opt);
+  EXPECT_EQ(add_plan.execute(p.a.view(), c.view()).code(),
+            StatusCode::kInvalidArgument);
+  EpilogueArgs bad_residual;
+  bad_residual.residual = wrong.cview();
+  EXPECT_EQ(add_plan.execute(p.a.view(), c.view(), bad_residual).code(),
+            StatusCode::kInvalidArgument);
+  EpilogueArgs good_residual;
+  good_residual.residual = p.residual.cview();
+  NMSPMM_EXPECT_OK(add_plan.execute(p.a.view(), c.view(), good_residual));
   // The two-argument execute cannot satisfy an active spec.
   EXPECT_EQ(plan.execute(p.a.view(), c.view()).code(),
             StatusCode::kInvalidArgument);

@@ -150,13 +150,17 @@ TEST(ModelPlan, GeluGatingAndMultiThreadedRunsAgree) {
 
   MatrixF serial_out(17, 64), parallel_out(17, 64);
   {
-    Engine engine(EngineOptions{.num_threads = 1});
+    EngineOptions opt;
+    opt.num_threads = 1;
+    Engine engine(opt);
     auto plan = engine.plan_model(32, {block});
     NMSPMM_ASSERT_OK(plan.status());
     NMSPMM_ASSERT_OK((*plan)->run(A.view(), serial_out.view()));
   }
   {
-    Engine engine(EngineOptions{.num_threads = 4});
+    EngineOptions opt;
+    opt.num_threads = 4;
+    Engine engine(opt);
     auto plan = engine.plan_model(32, {block});
     NMSPMM_ASSERT_OK(plan.status());
     NMSPMM_ASSERT_OK((*plan)->run(A.view(), parallel_out.view()));
