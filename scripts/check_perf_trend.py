@@ -128,6 +128,30 @@ def main(argv=None):
         print(f"{tag} model fused vs unfused: {fm['fused_speedup']:.3f}x "
               "[warn-only]")
 
+    # Open-loop tail latency: the serving_open gate block carries the
+    # mid-load per-class p99 plus the offered rate it was measured at.
+    # p99 at a *different* offered load is a different quantity, so the
+    # gate only compares when the two artifacts measured loads within
+    # 25% of each other (capacity-relative loads drift with the machine).
+    bo = base.get("serving_open", {}).get("gate", {})
+    fo = fresh.get("serving_open", {}).get("gate", {})
+    if bo.get("offered_rps") and fo.get("offered_rps"):
+        was_rps, now_rps = bo["offered_rps"], fo["offered_rps"]
+        if abs(now_rps - was_rps) > 0.25 * was_rps:
+            print(f"WARN: serving_open offered load moved {was_rps:.0f} -> "
+                  f"{now_rps:.0f} rps (>25%); p99 gate skipped — "
+                  "regenerate and commit the baseline artifact.")
+        else:
+            for cls in ("decode", "prefill"):
+                was = bo.get(f"{cls}_p99_us")
+                now = fo.get(f"{cls}_p99_us")
+                if not was or now is None:
+                    continue
+                delta = (now - was) / was  # lower is better for us: negate
+                judge(-delta,
+                      f"serving_open {cls} p99: {was} -> {now} us "
+                      f"({delta:+.1%})")
+
     if failures:
         print(f"\n{len(failures)} section(s) regressed more than "
               f"{args.threshold:.0%}:")

@@ -21,7 +21,8 @@ import check_perf_trend  # noqa: E402
 
 
 def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
-             fused_ms=2.0):
+             fused_ms=2.0, offered_rps=1000.0, decode_p99_us=2000,
+             prefill_p99_us=20000):
     return {
         "bench": "bench_resident",
         "schema_version": 2,
@@ -34,6 +35,12 @@ def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
         ],
         "serving": {"requests_per_s": requests_per_s},
         "model": {"fused_ms": fused_ms, "fused_speedup": 1.2},
+        "serving_open": {
+            "schema_version": 1,
+            "gate": {"offered_rps": offered_rps,
+                     "decode_p99_us": decode_p99_us,
+                     "prefill_p99_us": prefill_p99_us},
+        },
     }
 
 
@@ -140,6 +147,41 @@ class CheckPerfTrendTest(unittest.TestCase):
                             if v["variant"] != "V3"]
         self.write(self.baseline, base)
         self.write(self.fresh, artifact(v3=1.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_serving_open_p99_regression_fails_on_same_cpu(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(decode_p99_us=3000))  # +50% p99
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_serving_open_prefill_p99_gates_too(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(prefill_p99_us=30000))  # +50%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_serving_open_p99_improvement_passes(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(decode_p99_us=1000))  # faster
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_serving_open_warns_only_across_cpus(self):
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh, artifact(decode_p99_us=3000))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_serving_open_skips_when_offered_load_moved(self):
+        # p99 at a different offered load is a different quantity: a
+        # >25% load drift must skip the gate, not fail it.
+        self.write(self.baseline, artifact())
+        self.write(self.fresh,
+                   artifact(offered_rps=2000.0, decode_p99_us=9000))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_missing_serving_open_section_is_skipped(self):
+        base = artifact()
+        del base["serving_open"]
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(decode_p99_us=9000))
         self.assertEqual(self.run_gate(), 0)
 
     def test_new_sections_in_fresh_do_not_break_old_baselines(self):

@@ -49,6 +49,12 @@ Status FfnBlock::validate() const {
       down_bias.size() != static_cast<std::size_t>(hidden_out())) {
     return bias_width_error("down", down_bias.size(), hidden_out());
   }
+  if (residual && hidden_in() != hidden_out()) {
+    std::ostringstream os;
+    os << "residual connection requires hidden_in == hidden_out, got "
+       << hidden_in() << " -> " << hidden_out();
+    return Status::InvalidArgument(os.str());
+  }
   return Status::Ok();
 }
 
@@ -99,13 +105,24 @@ Status ModelPlan::run(ConstViewF A, ViewF out) {
     up_args.other = gate;
     NMSPMM_RETURN_IF_ERROR(plans.up->execute(x, h, up_args));
 
-    // out = h Wd (+ bd); chains ping-pong the hidden-wide activations.
+    // out = h Wd (+ bd) (+ x); chains ping-pong the hidden-wide
+    // activations. The residual add reads the block's input x in the
+    // down-projection's final-chunk stores (x never aliases y: y is
+    // either the caller's out or the *other* ping-pong buffer).
     const bool last = b + 1 == blocks_.size();
     const ViewF y = last ? out
                          : hidden_buf_[b % 2].view().block(
                                0, 0, m, block.hidden_out());
     EpilogueArgs down_args;
     down_args.bias = block.down_bias.empty() ? nullptr : block.down_bias.data();
+    if (block.residual) {
+      if (y.data() == x.data()) {
+        return Status::InvalidArgument(
+            "residual blocks require out not to alias the block input (the "
+            "fused stores write out before reading the residual operand)");
+      }
+      down_args.residual = x;
+    }
     NMSPMM_RETURN_IF_ERROR(plans.down->execute(h, y, down_args));
     x = y;
   }
@@ -218,6 +235,9 @@ StatusOr<std::shared_ptr<model::ModelPlan>> Engine::plan_model(
     SpmmOptions down_opt = options;
     down_opt.epilogue = EpilogueSpec{};
     down_opt.epilogue.bias = !block.down_bias.empty();
+    // Transformer skip connection: out = (h Wd + bd) + x in the
+    // down-projection's final-chunk stores.
+    down_opt.epilogue.add = block.residual;
     auto down = plan_for(max_tokens, block.down, down_opt);
     NMSPMM_RETURN_IF_ERROR(down.status());
     layer.down = *down;

@@ -57,6 +57,12 @@ struct FfnBlock {
   std::vector<float> down_bias;
   /// Gating activation (SwiGLU uses SiLU; GEGLU uses GELU).
   Activation act = Activation::kSilu;
+  /// Fuse the transformer residual connection into the down-projection:
+  /// out = (h Wd + bd) + x, where x is the block's input. Rides the
+  /// epilogue's residual-add in the final k-chunk's stores instead of a
+  /// separate pass over the tokens x hidden output. Requires
+  /// hidden_in() == hidden_out().
+  bool residual = false;
 
   [[nodiscard]] index_t hidden_in() const {
     return gate != nullptr ? gate->orig_rows : 0;

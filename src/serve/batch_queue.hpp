@@ -4,11 +4,12 @@
 // caller's activation rows and output block plus the promise that reports
 // its Status. A BatchQueue is the FIFO of pending requests against one
 // (weights, options) group and implements the batching policy decisions:
-// when must the front of the queue flush (row budget reached, or the
-// oldest request has waited past the deadline), and which whole requests
-// fit into the next batch. The queue itself is not thread-safe — the
-// Server serializes access under its own mutex and a single dispatcher
-// thread consumes batches.
+// when must the front of the queue flush (row budget reached, the oldest
+// request has waited past the max-wait window, or a pending request's SLO
+// deadline is approaching), and which whole requests fit into the next
+// batch. The queue itself is not thread-safe — the Server serializes
+// access under its own mutex and a single dispatcher thread consumes
+// batches.
 #pragma once
 
 #include <chrono>
@@ -28,13 +29,23 @@ struct BatchRequest {
   ConstViewF a;
   ViewF c;
   std::promise<Status> done;
+  /// When submit() was entered — start of the end-to-end latency clock.
+  std::chrono::steady_clock::time_point submitted;
   std::chrono::steady_clock::time_point enqueued;
+  /// Absolute SLO deadline; time_point::max() when the caller set none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  [[nodiscard]] bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 /// Why a batch left its queue.
 enum class FlushReason {
   kFull,      ///< pending rows reached the batch row budget
-  kDeadline,  ///< the oldest request aged past max_wait
+  kTimeout,   ///< the oldest request aged past max_wait
+  kSlo,       ///< a pending request's deadline was approaching
   kShutdown,  ///< server drain: everything pending flushes
 };
 
@@ -49,6 +60,7 @@ class BatchQueue {
 
   void push(BatchRequest request) {
     pending_rows_ += request.a.rows();
+    min_deadline_ = std::min(min_deadline_, request.deadline);
     pending_.push_back(std::move(request));
     max_depth_ = std::max(max_depth_, pending_.size());
   }
@@ -67,12 +79,42 @@ class BatchQueue {
     return oldest() + max_wait;
   }
 
+  /// Tightest SLO deadline among pending requests; time_point::max()
+  /// when none carries one.
+  [[nodiscard]] Clock::time_point min_deadline() const {
+    return min_deadline_;
+  }
+
+  /// Instant at which an SLO-aware dispatcher must flush to leave
+  /// @p slo_margin of service time before the tightest pending deadline.
+  /// time_point::max() when no pending request has a deadline.
+  [[nodiscard]] Clock::time_point slo_flush_at(
+      std::chrono::microseconds slo_margin) const {
+    if (min_deadline_ == Clock::time_point::max()) return min_deadline_;
+    return min_deadline_ - slo_margin;
+  }
+
   /// Must the front of the queue flush now? True when the row budget is
-  /// met or the oldest request has waited out max_wait.
+  /// met, the oldest request has waited out max_wait, or (when @p
+  /// slo_aware) a pending deadline is within slo_margin.
   [[nodiscard]] bool ready(Clock::time_point now, index_t max_rows,
-                           std::chrono::microseconds max_wait) const {
+                           std::chrono::microseconds max_wait,
+                           bool slo_aware = false,
+                           std::chrono::microseconds slo_margin =
+                               std::chrono::microseconds{0}) const {
     if (pending_.empty()) return false;
-    return pending_rows_ >= max_rows || now >= deadline(max_wait);
+    if (pending_rows_ >= max_rows || now >= deadline(max_wait)) return true;
+    return slo_aware && now >= slo_flush_at(slo_margin);
+  }
+
+  /// Why ready() fired — full beats timeout beats SLO, matching the
+  /// order a dispatcher would prefer to flush for.
+  [[nodiscard]] FlushReason flush_reason(
+      Clock::time_point now, index_t max_rows,
+      std::chrono::microseconds max_wait) const {
+    if (pending_rows_ >= max_rows) return FlushReason::kFull;
+    if (now >= deadline(max_wait)) return FlushReason::kTimeout;
+    return FlushReason::kSlo;
   }
 
   /// Pop whole requests from the front until the next one would exceed
@@ -88,6 +130,12 @@ class BatchQueue {
       pending_.pop_front();
     }
     pending_rows_ -= rows;
+    // The popped requests may have carried the tightest deadline; rescan
+    // what remains. O(depth), only on flush — never on the submit path.
+    min_deadline_ = Clock::time_point::max();
+    for (const BatchRequest& r : pending_) {
+      min_deadline_ = std::min(min_deadline_, r.deadline);
+    }
     return batch;
   }
 
@@ -95,6 +143,7 @@ class BatchQueue {
   std::deque<BatchRequest> pending_;
   index_t pending_rows_ = 0;
   std::size_t max_depth_ = 0;
+  Clock::time_point min_deadline_ = Clock::time_point::max();
 };
 
 }  // namespace nmspmm

@@ -17,8 +17,10 @@ void accumulate(Server::GroupStats& into, const Server::GroupStats& from) {
   into.batches += from.batches;
   into.full_flushes += from.full_flushes;
   into.timeout_flushes += from.timeout_flushes;
+  into.slo_flushes += from.slo_flushes;
   into.bypassed += from.bypassed;
   into.errors += from.errors;
+  into.slo_violations += from.slo_violations;
   into.max_queue_depth = std::max(into.max_queue_depth, from.max_queue_depth);
 }
 
@@ -32,6 +34,23 @@ std::size_t staging_bytes(index_t rows, index_t k, index_t n) {
   };
   return static_cast<std::size_t>(rows) * (padded(k) + padded(n)) *
          sizeof(float);
+}
+
+using Clock = BatchQueue::Clock;
+
+/// Non-negative interval between two steady_clock instants, in us.
+std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+/// Absolute deadline for a submit-relative budget; max() when unset.
+Clock::time_point deadline_from(Clock::time_point submitted,
+                                std::uint64_t deadline_us) {
+  if (deadline_us == 0) return Clock::time_point::max();
+  return submitted + std::chrono::microseconds(deadline_us);
 }
 
 }  // namespace
@@ -64,7 +83,9 @@ void Server::shutdown() {
 
 std::future<Status> Server::submit(ConstViewF A,
                                    std::shared_ptr<const CompressedNM> B,
-                                   ViewF C, SpmmOptions options) {
+                                   ViewF C, SpmmOptions options,
+                                   std::uint64_t deadline_us) {
+  const auto submitted = Clock::now();
   std::promise<Status> done;
   std::future<Status> result = done.get_future();
   // Per-request validation: a malformed submission resolves immediately
@@ -100,6 +121,8 @@ std::future<Status> Server::submit(ConstViewF A,
   // thread count exactly as the engine does for its cache key.
   options.num_threads = engine_.normalized_num_threads();
   const GroupKey key{B.get(), /*ffn=*/false, options};
+  const auto cls = serve::classify_rows(A.rows());
+  std::shared_ptr<serve::Telemetry> telemetry;
   bool bypass = false;
   {
     std::lock_guard lock(mutex_);
@@ -111,7 +134,11 @@ std::future<Status> Server::submit(ConstViewF A,
     if (group == nullptr) {
       group = std::make_unique<Group>();
       group->weights = B;
+      if (options_.telemetry) {
+        group->telemetry = std::make_shared<serve::Telemetry>();
+      }
     }
+    telemetry = group->telemetry;
     group->stats.requests += 1;
     group->stats.rows += static_cast<std::uint64_t>(A.rows());
     // Single-row fast path: with nothing pending in the group there is
@@ -123,21 +150,45 @@ std::future<Status> Server::submit(ConstViewF A,
     if (bypass) {
       group->stats.bypassed += 1;
     } else {
-      group->queue.push(
-          BatchRequest{A, C, std::move(done), BatchQueue::Clock::now()});
+      group->queue.push(BatchRequest{A, C, std::move(done), submitted,
+                                     Clock::now(),
+                                     deadline_from(submitted, deadline_us)});
       group->stats.max_queue_depth = group->queue.max_depth_seen();
     }
     prune_idle_groups_locked(group.get());
   }
   if (bypass) {
+    const auto exec_start = Clock::now();
     const Status status = engine_.spmm(A, std::move(B), C, options);
-    if (!status.ok()) {
+    const auto resolved = Clock::now();
+    const bool violated = deadline_us != 0 &&
+                          resolved > deadline_from(submitted, deadline_us);
+    // Telemetry rides the shared_ptr, outside the lock: the bypassed
+    // request never queued or gathered, so only submit-side overhead,
+    // execution, and the end-to-end total are recorded.
+    if (telemetry != nullptr) {
+      telemetry->record(cls, serve::Stage::kSubmit,
+                        elapsed_us(submitted, exec_start));
+      telemetry->record(cls, serve::Stage::kExecute,
+                        elapsed_us(exec_start, resolved));
+      telemetry->record(cls, serve::Stage::kTotal,
+                        elapsed_us(submitted, resolved));
+      if (violated) telemetry->count_violation(cls);
+    }
+    if (!status.ok() || violated) {
       std::lock_guard lock(mutex_);
       auto it = groups_.find(key);
-      (it != groups_.end() ? it->second->stats : retired_).errors += 1;
+      GroupStats& stats =
+          it != groups_.end() ? it->second->stats : retired_;
+      if (!status.ok()) stats.errors += 1;
+      if (violated) stats.slo_violations += 1;
     }
     done.set_value(status);
     return result;
+  }
+  if (telemetry != nullptr) {
+    telemetry->record(cls, serve::Stage::kSubmit,
+                      elapsed_us(submitted, Clock::now()));
   }
   work_cv_.notify_all();
   return result;
@@ -145,7 +196,8 @@ std::future<Status> Server::submit(ConstViewF A,
 
 std::future<Status> Server::submit_ffn(ConstViewF A,
                                        std::shared_ptr<model::ModelPlan> plan,
-                                       ViewF out) {
+                                       ViewF out, std::uint64_t deadline_us) {
+  const auto submitted = Clock::now();
   std::promise<Status> done;
   std::future<Status> result = done.get_future();
   if (plan == nullptr) {
@@ -177,6 +229,8 @@ std::future<Status> Server::submit_ffn(ConstViewF A,
     return result;
   }
   const GroupKey key{plan.get(), /*ffn=*/true, SpmmOptions{}};
+  const auto cls = serve::classify_rows(A.rows());
+  std::shared_ptr<serve::Telemetry> telemetry;
   bool bypass = false;
   {
     std::lock_guard lock(mutex_);
@@ -188,7 +242,11 @@ std::future<Status> Server::submit_ffn(ConstViewF A,
     if (group == nullptr) {
       group = std::make_unique<Group>();
       group->ffn_plan = plan;
+      if (options_.telemetry) {
+        group->telemetry = std::make_shared<serve::Telemetry>();
+      }
     }
+    telemetry = group->telemetry;
     group->stats.requests += 1;
     group->stats.rows += static_cast<std::uint64_t>(A.rows());
     bypass = options_.bypass_single_rows && A.rows() == 1 &&
@@ -196,21 +254,42 @@ std::future<Status> Server::submit_ffn(ConstViewF A,
     if (bypass) {
       group->stats.bypassed += 1;
     } else {
-      group->queue.push(
-          BatchRequest{A, out, std::move(done), BatchQueue::Clock::now()});
+      group->queue.push(BatchRequest{A, out, std::move(done), submitted,
+                                     Clock::now(),
+                                     deadline_from(submitted, deadline_us)});
       group->stats.max_queue_depth = group->queue.max_depth_seen();
     }
     prune_idle_groups_locked(group.get());
   }
   if (bypass) {
+    const auto exec_start = Clock::now();
     const Status status = plan->run(A, out);
-    if (!status.ok()) {
+    const auto resolved = Clock::now();
+    const bool violated = deadline_us != 0 &&
+                          resolved > deadline_from(submitted, deadline_us);
+    if (telemetry != nullptr) {
+      telemetry->record(cls, serve::Stage::kSubmit,
+                        elapsed_us(submitted, exec_start));
+      telemetry->record(cls, serve::Stage::kExecute,
+                        elapsed_us(exec_start, resolved));
+      telemetry->record(cls, serve::Stage::kTotal,
+                        elapsed_us(submitted, resolved));
+      if (violated) telemetry->count_violation(cls);
+    }
+    if (!status.ok() || violated) {
       std::lock_guard lock(mutex_);
       auto it = groups_.find(key);
-      (it != groups_.end() ? it->second->stats : retired_).errors += 1;
+      GroupStats& stats =
+          it != groups_.end() ? it->second->stats : retired_;
+      if (!status.ok()) stats.errors += 1;
+      if (violated) stats.slo_violations += 1;
     }
     done.set_value(status);
     return result;
+  }
+  if (telemetry != nullptr) {
+    telemetry->record(cls, serve::Stage::kSubmit,
+                      elapsed_us(submitted, Clock::now()));
   }
   work_cv_.notify_all();
   return result;
@@ -229,6 +308,7 @@ Server::PendingBatch Server::next_batch_locked(
     BatchQueue::Clock::time_point now) {
   PendingBatch batch;
   const std::chrono::microseconds wait(options_.max_wait_us);
+  const std::chrono::microseconds margin(options_.slo_margin_us);
   // Among ready groups, serve the one whose front request is oldest —
   // sustained row-budget traffic on one group must not starve another
   // group's deadline-expired requests.
@@ -237,8 +317,8 @@ Server::PendingBatch Server::next_batch_locked(
   for (auto& [key, group] : groups_) {
     BatchQueue& queue = group->queue;
     if (queue.empty()) continue;
-    if (!stop_ &&
-        !queue.ready(now, group_row_budget(*group), wait)) {
+    if (!stop_ && !queue.ready(now, group_row_budget(*group), wait,
+                               options_.slo_aware, margin)) {
       continue;
     }
     if (pick == nullptr || queue.oldest() < pick->queue.oldest()) {
@@ -249,19 +329,28 @@ Server::PendingBatch Server::next_batch_locked(
   if (pick == nullptr) return batch;
 
   const index_t budget = group_row_budget(*pick);
-  const bool full = pick->queue.pending_rows() >= budget;
+  // Attribute the flush before popping mutates the queue. During drain a
+  // not-otherwise-ready queue flushes for shutdown; count it with the
+  // timeout flushes rather than inventing a counter for a one-off state.
+  FlushReason reason = FlushReason::kShutdown;
+  if (pick->queue.ready(now, budget, wait, options_.slo_aware, margin)) {
+    reason = pick->queue.flush_reason(now, budget, wait);
+  }
   batch.group = pick;
   batch.weights = pick->weights;
   batch.ffn_plan = pick->ffn_plan;
   batch.options = pick_key->options;
+  batch.telemetry = pick->telemetry;
+  batch.popped = now;
   batch.requests = pick->queue.take_batch(budget);
   for (const BatchRequest& r : batch.requests) batch.rows += r.a.rows();
   ++pick->pins;  // pin against submit-side pruning until accounted
   ++pick->stats.batches;
-  if (full) {
-    ++pick->stats.full_flushes;
-  } else {
-    ++pick->stats.timeout_flushes;
+  switch (reason) {
+    case FlushReason::kFull: ++pick->stats.full_flushes; break;
+    case FlushReason::kSlo: ++pick->stats.slo_flushes; break;
+    case FlushReason::kTimeout:
+    case FlushReason::kShutdown: ++pick->stats.timeout_flushes; break;
   }
   return batch;
 }
@@ -273,6 +362,9 @@ void Server::prune_idle_groups_locked(const Group* keep) {
     if (it->second.get() != keep && it->second->queue.empty() &&
         it->second->pins == 0) {
       accumulate(retired_, it->second->stats);
+      if (it->second->telemetry != nullptr) {
+        retired_latency_.merge(it->second->telemetry->snapshot());
+      }
       ++retired_groups_;
       it = groups_.erase(it);
     } else {
@@ -293,14 +385,42 @@ void Server::prune_staging_locked(StagingMap& staging) {
 
 Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
   const bool ffn = batch.ffn_plan != nullptr;
+  serve::Telemetry* telemetry = batch.telemetry.get();
+  // Resolve one request and record its queue/gather/execute/total stages.
+  const auto resolve = [&](BatchRequest& r, Clock::time_point exec_start,
+                           const Status& status) {
+    // Record before resolving the future: a caller that joins on its
+    // future and then reads stats() must see its own sample.
+    const auto resolved = Clock::now();
+    if (r.has_deadline() && resolved > r.deadline) {
+      ++batch.violations;
+      if (telemetry != nullptr) {
+        telemetry->count_violation(serve::classify_rows(r.a.rows()));
+      }
+    }
+    if (telemetry != nullptr) {
+      const auto cls = serve::classify_rows(r.a.rows());
+      telemetry->record(cls, serve::Stage::kQueue,
+                        elapsed_us(r.enqueued, batch.popped));
+      telemetry->record(cls, serve::Stage::kGather,
+                        elapsed_us(batch.popped, exec_start));
+      telemetry->record(cls, serve::Stage::kExecute,
+                        elapsed_us(exec_start, resolved));
+      telemetry->record(cls, serve::Stage::kTotal,
+                        elapsed_us(r.submitted, resolved));
+    }
+    r.done.set_value(status);
+  };
+
   // A lone request needs no gather/scatter: hand its views straight to
   // the execution path (same plan caches, zero copies).
   if (batch.requests.size() == 1) {
     BatchRequest& r = batch.requests.front();
+    const auto exec_start = Clock::now();
     const Status status =
         ffn ? batch.ffn_plan->run(r.a, r.c)
             : engine_.spmm(r.a, batch.weights, r.c, batch.options);
-    r.done.set_value(status);
+    resolve(r, exec_start, status);
     return status;
   }
 
@@ -333,6 +453,7 @@ Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
   }
   const ConstViewF a_view = st.a.view().block(0, 0, batch.rows, k);
   const ViewF c_view = st.c.view().block(0, 0, batch.rows, n);
+  const auto exec_start = Clock::now();
   const Status status =
       ffn ? batch.ffn_plan->run(a_view, c_view)
           : engine_.spmm(a_view, batch.weights, c_view, batch.options);
@@ -344,7 +465,7 @@ Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
       }
     }
   }
-  for (BatchRequest& r : batch.requests) r.done.set_value(status);
+  for (BatchRequest& r : batch.requests) resolve(r, exec_start, status);
   return status;
 }
 
@@ -368,6 +489,41 @@ void Server::dispatcher_loop() {
   for (;;) {
     PendingBatch batch = next_batch_locked(BatchQueue::Clock::now());
     if (batch.group != nullptr) {
+      // Drain fast-fail: once shutdown() is in flight, a request whose
+      // deadline already expired can never be served within its SLO —
+      // fail it immediately with DEADLINE_EXCEEDED instead of spending
+      // the drain's remaining time computing an answer nobody is
+      // waiting for (and instead of hanging its future).
+      if (stop_) {
+        const auto now = BatchQueue::Clock::now();
+        std::vector<BatchRequest> live;
+        live.reserve(batch.requests.size());
+        for (BatchRequest& r : batch.requests) {
+          if (r.has_deadline() && now > r.deadline) {
+            batch.group->stats.errors += 1;
+            batch.group->stats.slo_violations += 1;
+            if (batch.telemetry != nullptr) {
+              const auto cls = serve::classify_rows(r.a.rows());
+              batch.telemetry->count_violation(cls);
+              batch.telemetry->record(cls, serve::Stage::kTotal,
+                                      elapsed_us(r.submitted, now));
+            }
+            r.done.set_value(Status::DeadlineExceeded(
+                "deadline expired before the drain reached the request"));
+          } else {
+            live.push_back(std::move(r));
+          }
+        }
+        batch.requests = std::move(live);
+        batch.rows = 0;
+        for (const BatchRequest& r : batch.requests) {
+          batch.rows += r.a.rows();
+        }
+        if (batch.requests.empty()) {
+          --batch.group->pins;
+          continue;
+        }
+      }
       lock.unlock();
       // Exception guard (ROADMAP): a failure assembling or running the
       // batch — staging growth hitting max_staging_bytes or bad_alloc, a
@@ -386,6 +542,7 @@ void Server::dispatcher_loop() {
         batch.group->stats.errors +=
             static_cast<std::uint64_t>(batch.requests.size());
       }
+      batch.group->stats.slo_violations += batch.violations;
       // Keep retained state bounded now that the batch is accounted.
       prune_idle_groups_locked();
       prune_staging_locked(staging);
@@ -399,6 +556,12 @@ void Server::dispatcher_loop() {
       earliest = std::min(
           earliest, group->queue.deadline(
                         std::chrono::microseconds(options_.max_wait_us)));
+      if (options_.slo_aware) {
+        // Wake early enough to flush ahead of the tightest SLO deadline.
+        earliest = std::min(
+            earliest, group->queue.slo_flush_at(std::chrono::microseconds(
+                          options_.slo_margin_us)));
+      }
     }
     if (stop_ && !any_pending) return;  // drained: shut down
     if (any_pending) {
@@ -414,8 +577,12 @@ Server::Stats Server::stats() const {
   Stats stats;
   stats.totals = retired_;
   stats.groups = groups_.size() + retired_groups_;
+  stats.latency = retired_latency_;
   for (const auto& [key, group] : groups_) {
     accumulate(stats.totals, group->stats);
+    if (group->telemetry != nullptr) {
+      stats.latency.merge(group->telemetry->snapshot());
+    }
   }
   return stats;
 }
@@ -429,12 +596,33 @@ Server::GroupStats Server::target_stats(const void* target) const {
   return stats;
 }
 
+serve::TelemetrySnapshot Server::target_latency(const void* target) const {
+  std::lock_guard lock(mutex_);
+  serve::TelemetrySnapshot snap;
+  for (const auto& [key, group] : groups_) {
+    if (key.target == target && group->telemetry != nullptr) {
+      snap.merge(group->telemetry->snapshot());
+    }
+  }
+  return snap;
+}
+
 Server::GroupStats Server::weights_stats(const CompressedNM* weights) const {
   return target_stats(weights);
 }
 
 Server::GroupStats Server::model_stats(const model::ModelPlan* plan) const {
   return target_stats(plan);
+}
+
+serve::TelemetrySnapshot Server::weights_latency(
+    const CompressedNM* weights) const {
+  return target_latency(weights);
+}
+
+serve::TelemetrySnapshot Server::model_latency(
+    const model::ModelPlan* plan) const {
+  return target_latency(plan);
 }
 
 }  // namespace nmspmm

@@ -59,6 +59,7 @@
 #include "core/engine.hpp"
 #include "model/ffn.hpp"
 #include "serve/batch_queue.hpp"
+#include "serve/telemetry.hpp"
 
 namespace nmspmm {
 
@@ -87,6 +88,24 @@ struct ServerOptions {
   /// via the dispatcher's exception guard instead of letting staging
   /// growth take the process down.
   std::size_t max_staging_bytes = 0;
+  /// Flush a group early when a pending request's SLO deadline (the
+  /// deadline_us argument of submit / submit_ffn) is within slo_margin_us
+  /// of now, instead of waiting out max_wait_us. Off, deadlines are still
+  /// tracked (violation counters, shutdown expiry) but never trigger an
+  /// early flush — the fixed-max-wait policy the SLO comparison in
+  /// bench_serving_open measures against.
+  bool slo_aware = true;
+  /// Headroom the SLO-aware flush leaves before the tightest pending
+  /// deadline: the estimated time to assemble + execute + scatter one
+  /// batch. Too small and near-deadline requests still miss; too large
+  /// and batches flush half-empty.
+  std::uint32_t slo_margin_us = 150;
+  /// Record per-request stage latencies (serve/telemetry.hpp) into
+  /// per-thread shards, exposed via stats().latency. Lock-free on the
+  /// submit path; the switch exists so the overhead can be measured
+  /// against a telemetry-free baseline, not because it is expected to
+  /// matter.
+  bool telemetry = true;
   /// The backing engine (worker pool + plan cache) the server owns.
   EngineOptions engine;
 };
@@ -107,9 +126,18 @@ class Server {
   /// enqueuing. @p options must carry an inactive EpilogueSpec (epilogue
   /// operands cannot ride a batched submission; use submit_ffn for the
   /// fused-FFN workload).
+  ///
+  /// @p deadline_us (0 = none) is the request's SLO budget from this call:
+  /// with slo_aware batching the dispatcher flushes the group early enough
+  /// to leave slo_margin_us of service time before it. A missed deadline
+  /// still serves the request (counted in slo_violations / the telemetry
+  /// snapshot) — except during shutdown drain, where an already-expired
+  /// request fails fast with DEADLINE_EXCEEDED instead of consuming the
+  /// drain's remaining time.
   std::future<Status> submit(ConstViewF A,
                              std::shared_ptr<const CompressedNM> B, ViewF C,
-                             SpmmOptions options = {});
+                             SpmmOptions options = {},
+                             std::uint64_t deadline_us = 0);
 
   /// Enqueue out = FFN_chain(A) against @p plan (built by
   /// Engine::plan_model — any engine; plans carry their own weights and
@@ -121,7 +149,7 @@ class Server {
   /// plan's token budget.
   std::future<Status> submit_ffn(ConstViewF A,
                                  std::shared_ptr<model::ModelPlan> plan,
-                                 ViewF out);
+                                 ViewF out, std::uint64_t deadline_us = 0);
 
   /// Stop accepting requests, serve everything already queued, and join
   /// the dispatcher. Idempotent; the destructor calls it.
@@ -134,13 +162,18 @@ class Server {
     std::uint64_t batches = 0;          ///< batches dispatched
     std::uint64_t full_flushes = 0;     ///< batches flushed on row budget
     std::uint64_t timeout_flushes = 0;  ///< flushed on max_wait / drain
+    std::uint64_t slo_flushes = 0;      ///< flushed early for a deadline
     std::uint64_t bypassed = 0;         ///< served synchronously at submit
     std::uint64_t errors = 0;           ///< requests resolved non-OK
+    std::uint64_t slo_violations = 0;   ///< deadlines missed (incl. expiry)
     std::size_t max_queue_depth = 0;    ///< peak pending requests
   };
   struct Stats {
     GroupStats totals;  ///< live groups + counters of evicted ones
     std::size_t groups = 0;  ///< distinct (target, options) groups seen
+    /// Per-request stage latency distributions across every group, live
+    /// and evicted (empty when ServerOptions::telemetry is off).
+    serve::TelemetrySnapshot latency;
   };
   [[nodiscard]] Stats stats() const;
   /// Aggregate over every *live* group serving @p weights (any options);
@@ -149,6 +182,13 @@ class Server {
   [[nodiscard]] GroupStats weights_stats(const CompressedNM* weights) const;
   /// As weights_stats, for the FFN groups serving @p plan.
   [[nodiscard]] GroupStats model_stats(const model::ModelPlan* plan) const;
+  /// Latency snapshot of the *live* groups serving @p weights (any
+  /// options); evicted groups' samples only survive in stats().latency.
+  [[nodiscard]] serve::TelemetrySnapshot weights_latency(
+      const CompressedNM* weights) const;
+  /// As weights_latency, for the FFN groups serving @p plan.
+  [[nodiscard]] serve::TelemetrySnapshot model_latency(
+      const model::ModelPlan* plan) const;
 
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
@@ -172,6 +212,12 @@ class Server {
     std::shared_ptr<model::ModelPlan> ffn_plan;   ///< FFN groups
     BatchQueue queue;
     GroupStats stats;
+    /// Stage-latency recorder (null when ServerOptions::telemetry is
+    /// off). shared_ptr: bypassed submissions and in-flight batches
+    /// record into it outside the server lock, so it must outlive a
+    /// concurrent eviction of the group (samples recorded after the
+    /// eviction folded its snapshot are simply dropped).
+    std::shared_ptr<serve::Telemetry> telemetry;
     /// In-flight batches popped from this group. A pinned group cannot
     /// be pruned: eviction would drop its weights / plan references
     /// (and through them the store leases) while a batch still executes
@@ -188,6 +234,14 @@ class Server {
     SpmmOptions options;
     std::vector<BatchRequest> requests;
     index_t rows = 0;
+    /// The group's recorder (null = no telemetry). Shared so recording
+    /// outside the lock never races an eviction.
+    std::shared_ptr<serve::Telemetry> telemetry;
+    /// When the batch left its queue — end of each request's kQueue stage.
+    std::chrono::steady_clock::time_point popped;
+    /// Deadline misses observed while resolving the batch; folded into
+    /// the group's slo_violations by the dispatcher once it re-locks.
+    std::uint64_t violations = 0;
   };
   /// Reusable gather/scatter staging, owned by the dispatcher thread and
   /// keyed by batch target (weights or model plan).
@@ -223,6 +277,9 @@ class Server {
   static void fail_batch(PendingBatch& batch, const Status& status);
   /// Aggregate the live groups whose key target is @p target.
   [[nodiscard]] GroupStats target_stats(const void* target) const;
+  /// Merge the latency snapshots of the live groups serving @p target.
+  [[nodiscard]] serve::TelemetrySnapshot target_latency(
+      const void* target) const;
 
   ServerOptions options_;
   Engine engine_;
@@ -232,6 +289,9 @@ class Server {
   std::unordered_map<GroupKey, std::unique_ptr<Group>, GroupKeyHash> groups_;
   GroupStats retired_;  ///< folded counters of groups evicted by max_groups
   std::size_t retired_groups_ = 0;
+  /// Latency samples of evicted groups, folded at eviction so
+  /// stats().latency never loses history to max_groups pressure.
+  serve::TelemetrySnapshot retired_latency_;
   bool stop_ = false;
   std::thread dispatcher_;
 };

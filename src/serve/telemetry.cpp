@@ -1,0 +1,133 @@
+#include "serve/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nmspmm::serve {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kSubmit: return "submit";
+    case Stage::kQueue: return "queue";
+    case Stage::kGather: return "gather";
+    case Stage::kExecute: return "execute";
+    case Stage::kTotal: return "total";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kDecode: return "decode";
+    case RequestClass::kPrefill: return "prefill";
+    case RequestClass::kCount: break;
+  }
+  return "?";
+}
+
+void StageSnapshot::merge(const StageSnapshot& other) {
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    counts[b] += other.counts[b];
+  }
+  count += other.count;
+  sum_us += other.sum_us;
+}
+
+void StageSnapshot::subtract(const StageSnapshot& earlier) {
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    counts[b] = counts[b] >= earlier.counts[b] ? counts[b] - earlier.counts[b]
+                                               : 0;
+  }
+  count = count >= earlier.count ? count - earlier.count : 0;
+  sum_us = sum_us >= earlier.sum_us ? sum_us - earlier.sum_us : 0;
+}
+
+std::uint64_t StageSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based; q=0 means the first sample.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) return LatencyHistogram::bucket_upper_us(b);
+  }
+  return LatencyHistogram::bucket_upper_us(LatencyHistogram::kBuckets - 1);
+}
+
+void TelemetrySnapshot::merge(const TelemetrySnapshot& other) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (int s = 0; s < kNumStages; ++s) {
+      stages[c][s].merge(other.stages[c][s]);
+    }
+    violations[c] += other.violations[c];
+  }
+}
+
+void TelemetrySnapshot::subtract(const TelemetrySnapshot& earlier) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (int s = 0; s < kNumStages; ++s) {
+      stages[c][s].subtract(earlier.stages[c][s]);
+    }
+    violations[c] = violations[c] >= earlier.violations[c]
+                        ? violations[c] - earlier.violations[c]
+                        : 0;
+  }
+}
+
+Telemetry::~Telemetry() {
+  for (auto& slot : shards_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+Telemetry::Shard& Telemetry::shard() {
+  // A global counter hands each recording thread a stable slot; distinct
+  // Telemetry instances reuse the same per-thread slot index, so a thread
+  // that records into many recorders still claims one slot, not one per
+  // recorder. Past kMaxShards threads, slots are shared — recording stays
+  // correct (atomics), just potentially contended.
+  static std::atomic<unsigned> next_slot{0};
+  thread_local unsigned slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kMaxShards;
+
+  Shard* existing = shards_[slot].load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  auto* fresh = new Shard();
+  Shard* expected = nullptr;
+  if (shards_[slot].compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;  // lost the install race; use the winner's shard
+  return *expected;
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot snap;
+  for (const auto& slot : shards_) {
+    const Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (int c = 0; c < kNumClasses; ++c) {
+      for (int s = 0; s < kNumStages; ++s) {
+        const LatencyHistogram& hist = shard->hist[c][s];
+        StageSnapshot& out = snap.stages[c][s];
+        for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+          const std::uint64_t n = hist.bucket_count(b);
+          out.counts[b] += n;
+          out.count += n;
+        }
+        out.sum_us += hist.sum_us();
+      }
+      snap.violations[c] +=
+          shard->violations[c].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+}  // namespace nmspmm::serve

@@ -1,0 +1,327 @@
+#include "serve/traffic.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace nmspmm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Exponential inter-event time at @p rate events/s. next_double() is in
+/// [0, 1), so 1-u is in (0, 1] and the log is finite.
+double sample_exp(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+/// Weighted index pick over @p cumulative (inclusive prefix sums).
+std::size_t pick_weighted(Rng& rng, const std::vector<double>& cumulative) {
+  const double u = rng.next_double() * cumulative.back();
+  const auto it =
+      std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  return std::min<std::size_t>(it - cumulative.begin(),
+                               cumulative.size() - 1);
+}
+
+/// Arrival schedule of one source thread: Poisson, or MMPP-2 where the
+/// process alternates between a calm and a burst rate with exponential
+/// sojourns. Memorylessness lets us resample the inter-arrival clock at
+/// each state switch, so no thinning is needed.
+class ArrivalSampler {
+ public:
+  ArrivalSampler(const TrafficOptions& options, double rate, Rng& rng)
+      : rng_(rng), bursty_(options.arrivals == ArrivalProcess::kBursty) {
+    if (!bursty_) {
+      calm_rate_ = burst_rate_ = rate;
+      return;
+    }
+    const double f = options.burst_time_fraction;
+    burst_rate_ = rate * options.burst_rate_factor;
+    // Long-run mean stays `rate`: f * burst + (1-f) * calm = rate.
+    calm_rate_ = rate * (1.0 - f * options.burst_rate_factor) / (1.0 - f);
+    mean_burst_s_ = options.mean_burst_s;
+    mean_calm_s_ = options.mean_burst_s * (1.0 - f) / f;
+    state_end_s_ = sample_exp(rng_, 1.0 / mean_calm_s_);
+  }
+
+  /// Absolute time (seconds from the schedule origin) of the next
+  /// arrival after @p now_s.
+  double next_arrival(double now_s) {
+    double t = now_s;
+    for (;;) {
+      const double rate = in_burst_ ? burst_rate_ : calm_rate_;
+      const double dt = sample_exp(rng_, rate);
+      if (!bursty_ || t + dt <= state_end_s_) return t + dt;
+      t = state_end_s_;
+      in_burst_ = !in_burst_;
+      state_end_s_ =
+          t + sample_exp(rng_, 1.0 / (in_burst_ ? mean_burst_s_
+                                                : mean_calm_s_));
+    }
+  }
+
+ private:
+  Rng& rng_;
+  bool bursty_ = false;
+  bool in_burst_ = false;
+  double calm_rate_ = 0.0;
+  double burst_rate_ = 0.0;
+  double mean_burst_s_ = 0.0;
+  double mean_calm_s_ = 0.0;
+  double state_end_s_ = 0.0;
+};
+
+/// One pre-allocated in-flight request buffer. The Server requires A and
+/// C alive until the future resolves, so open-loop submission without
+/// per-request allocation needs a bounded ring of these.
+struct Slot {
+  MatrixF a;
+  MatrixF c;
+  std::future<Status> fut;
+  int cls = -1;
+};
+
+struct ThreadTally {
+  std::uint64_t submitted = 0;
+  std::uint64_t stalls = 0;
+  std::vector<std::uint64_t> ok;      // per class
+  std::vector<std::uint64_t> errors;  // per class
+};
+
+Status validate(const std::vector<TrafficTarget>& targets,
+                const TrafficOptions& options,
+                const std::vector<TrafficClass>& classes) {
+  if (!(options.offered_rps > 0.0)) {
+    return Status::InvalidArgument("offered_rps must be positive");
+  }
+  if (!(options.duration_s > 0.0)) {
+    return Status::InvalidArgument("duration_s must be positive");
+  }
+  if (options.submit_threads < 1) {
+    return Status::InvalidArgument("submit_threads must be >= 1");
+  }
+  if (options.slots_per_thread < 1) {
+    return Status::InvalidArgument("slots_per_thread must be >= 1");
+  }
+  if (targets.empty()) {
+    return Status::InvalidArgument("traffic needs at least one target");
+  }
+  double target_weight = 0.0;
+  for (const TrafficTarget& t : targets) {
+    if ((t.weights != nullptr) == (t.plan != nullptr)) {
+      return Status::InvalidArgument(
+          "each target must set exactly one of weights / plan");
+    }
+    if (t.weight < 0.0) {
+      return Status::InvalidArgument("target weight must be >= 0");
+    }
+    target_weight += t.weight;
+  }
+  if (!(target_weight > 0.0)) {
+    return Status::InvalidArgument("target weights sum to zero");
+  }
+  double class_weight = 0.0;
+  for (const TrafficClass& c : classes) {
+    if (c.rows_min < 1 || c.rows_max < c.rows_min) {
+      std::ostringstream os;
+      os << "class '" << c.name << "' has invalid rows range ["
+         << c.rows_min << ", " << c.rows_max << "]";
+      return Status::InvalidArgument(os.str());
+    }
+    if (c.weight < 0.0) {
+      return Status::InvalidArgument("class weight must be >= 0");
+    }
+    class_weight += c.weight;
+    for (const TrafficTarget& t : targets) {
+      if (t.plan != nullptr && c.rows_max > t.plan->planned_tokens()) {
+        std::ostringstream os;
+        os << "class '" << c.name << "' rows_max " << c.rows_max
+           << " exceeds an FFN target's " << t.plan->planned_tokens()
+           << "-token plan budget";
+        return Status::InvalidArgument(os.str());
+      }
+    }
+  }
+  if (!(class_weight > 0.0)) {
+    return Status::InvalidArgument("class weights sum to zero");
+  }
+  if (options.arrivals == ArrivalProcess::kBursty) {
+    const double f = options.burst_time_fraction;
+    if (!(f > 0.0) || !(f < 1.0)) {
+      return Status::InvalidArgument(
+          "burst_time_fraction must be in (0, 1)");
+    }
+    if (!(options.burst_rate_factor > 0.0) ||
+        f * options.burst_rate_factor >= 1.0) {
+      return Status::InvalidArgument(
+          "bursty arrivals need burst_time_fraction * burst_rate_factor "
+          "< 1 (the calm-state rate must stay positive)");
+    }
+    if (!(options.mean_burst_s > 0.0)) {
+      return Status::InvalidArgument("mean_burst_s must be positive");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<TrafficReport> run_open_loop(
+    Server& server, const std::vector<TrafficTarget>& targets,
+    const TrafficOptions& options) {
+  std::vector<TrafficClass> classes = options.classes;
+  if (classes.empty()) {
+    classes.push_back(TrafficClass{"decode", 1, 1, 1.0, 0});
+  }
+  NMSPMM_RETURN_IF_ERROR(validate(targets, options, classes));
+
+  // Slot buffers sized to the widest (class, target) combination; each
+  // submission carves an exact-shape block view out of them.
+  index_t max_rows = 1, max_k = 1, max_n = 1;
+  for (const TrafficClass& c : classes) {
+    max_rows = std::max(max_rows, c.rows_max);
+  }
+  for (const TrafficTarget& t : targets) {
+    const index_t k =
+        t.plan != nullptr ? t.plan->hidden_in() : t.weights->orig_rows;
+    const index_t n =
+        t.plan != nullptr ? t.plan->hidden_out() : t.weights->cols;
+    max_k = std::max(max_k, k);
+    max_n = std::max(max_n, n);
+  }
+
+  std::vector<double> class_cum, target_cum;
+  for (const TrafficClass& c : classes) {
+    class_cum.push_back((class_cum.empty() ? 0.0 : class_cum.back()) +
+                        c.weight);
+  }
+  for (const TrafficTarget& t : targets) {
+    target_cum.push_back((target_cum.empty() ? 0.0 : target_cum.back()) +
+                         t.weight);
+  }
+
+  const auto before = server.stats();
+  const int num_threads = options.submit_threads;
+  const double rate_per_thread = options.offered_rps / num_threads;
+  std::vector<ThreadTally> tallies(num_threads);
+  for (ThreadTally& t : tallies) {
+    t.ok.assign(classes.size(), 0);
+    t.errors.assign(classes.size(), 0);
+  }
+
+  const auto origin = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      ThreadTally& tally = tallies[tid];
+      // Decorrelate per-thread streams without losing replayability: the
+      // (seed, thread id) pair fixes this thread's entire schedule.
+      Rng rng(options.seed + 0x9E3779B97F4A7C15ULL *
+                                 static_cast<std::uint64_t>(tid + 1));
+      std::vector<Slot> slots(options.slots_per_thread);
+      for (Slot& s : slots) {
+        s.a = MatrixF(max_rows, max_k);
+        s.c = MatrixF(max_rows, max_n);
+        for (index_t i = 0; i < max_rows; ++i) {
+          for (index_t j = 0; j < max_k; ++j) {
+            s.a.row(i)[j] = rng.next_float(-1.0f, 1.0f);
+          }
+        }
+      }
+      auto settle = [&](Slot& s) {
+        if (!s.fut.valid()) return;
+        const Status status = s.fut.get();
+        (status.ok() ? tally.ok : tally.errors)[s.cls] += 1;
+        s.cls = -1;
+      };
+
+      ArrivalSampler sampler(options, rate_per_thread, rng);
+      double t_s = sampler.next_arrival(0.0);
+      std::size_t next_slot = 0;
+      while (t_s < options.duration_s) {
+        std::this_thread::sleep_until(
+            origin + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(t_s)));
+        const std::size_t ci = pick_weighted(rng, class_cum);
+        const std::size_t ti = pick_weighted(rng, target_cum);
+        const TrafficClass& cls = classes[ci];
+        const TrafficTarget& target = targets[ti];
+        const index_t rows = cls.rows_min == cls.rows_max
+                                 ? cls.rows_min
+                                 : static_cast<index_t>(rng.next_int(
+                                       cls.rows_min, cls.rows_max));
+        Slot& slot = slots[next_slot];
+        next_slot = (next_slot + 1) % slots.size();
+        if (slot.fut.valid() &&
+            slot.fut.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+          // Open-loop back-pressure: every buffer is in flight, so this
+          // source cannot hold the offered rate. Count it and block.
+          ++tally.stalls;
+        }
+        settle(slot);
+        const index_t k = target.plan != nullptr
+                              ? target.plan->hidden_in()
+                              : target.weights->orig_rows;
+        const index_t n = target.plan != nullptr
+                              ? target.plan->hidden_out()
+                              : target.weights->cols;
+        const ConstViewF a = slot.a.view().block(0, 0, rows, k);
+        const ViewF c = slot.c.view().block(0, 0, rows, n);
+        slot.cls = static_cast<int>(ci);
+        slot.fut = target.plan != nullptr
+                       ? server.submit_ffn(a, target.plan, c,
+                                           cls.deadline_us)
+                       : server.submit(a, target.weights, c, {},
+                                       cls.deadline_us);
+        ++tally.submitted;
+        t_s = sampler.next_arrival(t_s);
+      }
+      for (Slot& s : slots) settle(s);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - origin).count();
+  const auto after = server.stats();
+
+  TrafficReport report;
+  report.offered_rps = options.offered_rps;
+  report.duration_s = wall_s;
+  report.classes.reserve(classes.size());
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    ClassReport cr;
+    cr.name = classes[ci].name;
+    for (const ThreadTally& t : tallies) {
+      cr.ok += t.ok[ci];
+      cr.errors += t.errors[ci];
+    }
+    cr.submitted = cr.ok + cr.errors;
+    report.ok += cr.ok;
+    report.errors += cr.errors;
+    report.classes.push_back(std::move(cr));
+  }
+  for (const ThreadTally& t : tallies) {
+    report.submitted += t.submitted;
+    report.stalls += t.stalls;
+  }
+  report.achieved_rps =
+      wall_s > 0.0
+          ? static_cast<double>(report.ok + report.errors) / wall_s
+          : 0.0;
+  report.latency = after.latency;
+  report.latency.subtract(before.latency);
+  report.slo_violations =
+      after.totals.slo_violations - before.totals.slo_violations;
+  return report;
+}
+
+}  // namespace nmspmm::serve

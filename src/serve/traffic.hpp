@@ -1,0 +1,121 @@
+// Open-loop traffic generation against nmspmm::Server.
+//
+// Closed-loop benchmarking (bench_serving) keeps a fixed number of
+// requests in flight: the load adapts to the server, so queueing delay —
+// the thing tail-latency SLOs are about — never builds up. Real serving
+// is open-loop: requests arrive on their own schedule whether or not the
+// server keeps up, and the latency distribution under a given *offered*
+// rate is the figure of merit. run_open_loop() generates that schedule:
+//
+//   - arrivals: Poisson (exponential inter-arrival) or bursty MMPP-2 —
+//     a two-state Markov-modulated Poisson process alternating between a
+//     calm and a burst rate, the classic model for flash-crowd traffic
+//     that a mean-rate-matched Poisson stream cannot reproduce;
+//   - request mix: weighted classes (decode steps of one row, prefill
+//     requests of 64-512 rows) each with its own SLO deadline;
+//   - targets: weighted set of weight matrices / ModelPlans, so several
+//     models can share one Server (and one WeightStore byte budget);
+//   - N submitting threads, each with a seeded Rng — a (seed, options)
+//     pair replays the same schedule bit-for-bit.
+//
+// Submission is fire-and-forget into pre-allocated per-thread slot
+// buffers (the Server requires A and C alive until the future resolves);
+// when every slot of a thread is still in flight the thread must wait
+// for one — counted as a `stall`, the honest signal that the offered
+// rate exceeded what an open-loop harness with finite memory can offer.
+//
+// The report's latency snapshot is the difference of Server::stats()
+// telemetry taken after and before the run, so a shared server can host
+// several consecutive runs without cross-contamination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/ffn.hpp"
+#include "serve/server.hpp"
+#include "serve/telemetry.hpp"
+
+namespace nmspmm::serve {
+
+/// One request class in the traffic mix.
+struct TrafficClass {
+  std::string name;        ///< reported per class ("decode", "prefill", ...)
+  index_t rows_min = 1;    ///< activation rows, uniform in [min, max]
+  index_t rows_max = 1;
+  double weight = 1.0;     ///< relative share of arrivals
+  /// Per-request SLO budget from submit time, in us (0 = no deadline).
+  std::uint64_t deadline_us = 0;
+};
+
+/// One submission target: exactly one of weights (Server::submit) or
+/// plan (Server::submit_ffn).
+struct TrafficTarget {
+  std::shared_ptr<const CompressedNM> weights;
+  std::shared_ptr<model::ModelPlan> plan;
+  double weight = 1.0;  ///< relative share of arrivals
+};
+
+enum class ArrivalProcess {
+  kPoisson,  ///< exponential inter-arrival at the offered rate
+  kBursty,   ///< MMPP-2: calm/burst rates, exponential state sojourns
+};
+
+struct TrafficOptions {
+  double offered_rps = 1000.0;  ///< aggregate arrival rate, requests/s
+  double duration_s = 1.0;      ///< submission window (drain excluded)
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// MMPP-2 shape (kBursty only): the burst state arrives at
+  /// burst_rate_factor x the mean rate and holds ~burst_time_fraction of
+  /// the time; the calm rate is derived so the long-run mean stays
+  /// offered_rps. Requires burst_time_fraction * burst_rate_factor < 1.
+  double burst_rate_factor = 4.0;
+  double burst_time_fraction = 0.1;
+  double mean_burst_s = 0.02;  ///< mean sojourn in the burst state
+  int submit_threads = 2;      ///< open-loop sources, splitting offered_rps
+  std::uint64_t seed = 42;     ///< replays the exact schedule
+  /// In-flight request buffers per thread; all busy = the thread stalls.
+  int slots_per_thread = 64;
+  std::vector<TrafficClass> classes;  ///< default: 1-row, no deadline
+};
+
+struct ClassReport {
+  std::string name;
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+};
+
+struct TrafficReport {
+  double offered_rps = 0.0;
+  /// Resolved requests / wall time of the whole run including drain —
+  /// compare against offered_rps to see whether the server kept up.
+  double achieved_rps = 0.0;
+  double duration_s = 0.0;  ///< wall time, submission + drain
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  /// Times a source thread found every slot in flight and had to block
+  /// on a future before submitting — offered-load back-pressure events.
+  std::uint64_t stalls = 0;
+  std::vector<ClassReport> classes;
+  /// Telemetry delta attributable to this run (stats().latency after
+  /// minus before). Empty when the server runs with telemetry off.
+  TelemetrySnapshot latency;
+  /// Server violation-counter delta over the run.
+  std::uint64_t slo_violations = 0;
+};
+
+/// Drive @p server open-loop per @p options, splitting arrivals across
+/// options.submit_threads threads and the weighted targets/classes.
+/// Blocks until every submitted request has resolved. Validation errors
+/// (no targets, a target with both or neither of weights/plan, rows
+/// exceeding an FFN plan's token budget, infeasible MMPP shape) return
+/// InvalidArgument without submitting anything.
+[[nodiscard]] StatusOr<TrafficReport> run_open_loop(
+    Server& server, const std::vector<TrafficTarget>& targets,
+    const TrafficOptions& options);
+
+}  // namespace nmspmm::serve

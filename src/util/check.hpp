@@ -42,6 +42,7 @@ enum class StatusCode {
   kFailedPrecondition,  ///< object state does not admit the call
   kNotFound,            ///< lookup missed (cache probes, registries)
   kInternal,            ///< invariant violation escaping a lower layer
+  kDeadlineExceeded,    ///< the request's SLO deadline passed unserved
 };
 
 inline const char* to_string(StatusCode code) {
@@ -51,6 +52,7 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "?";
 }
@@ -75,6 +77,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

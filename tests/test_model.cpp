@@ -141,6 +141,68 @@ TEST(ModelPlan, FusedRunMatchesUnfusedPipelineBitExactly) {
   }
 }
 
+TEST(ModelPlan, FusedResidualMatchesUnfusedResidualPassBitExactly) {
+  Rng rng(958);
+  const NMConfig cfg{2, 4, 16};
+  const index_t hidden = 96, ffn = 176, tokens = 21;
+  for (const bool with_bias : {false, true}) {
+    model::FfnBlock block = make_block(hidden, ffn, cfg, rng, with_bias);
+    block.residual = true;
+    Engine engine;
+    auto plan = engine.plan_model(tokens, {block});
+    NMSPMM_ASSERT_OK(plan.status());
+
+    const MatrixF A = random_int_matrix(tokens, hidden, rng);
+    MatrixF out(tokens, hidden);
+    NMSPMM_ASSERT_OK((*plan)->run(A.view(), out.view()));
+
+    // Unfused oracle: same plans without the residual epilogue, then the
+    // skip connection as a separate elementwise pass. The fused path adds
+    // the same two floats in the same order (v += residual last), so
+    // agreement must be exact.
+    model::FfnBlock unfused = block;
+    unfused.residual = false;
+    MatrixF want = unfused_pipeline(engine, A.view(), unfused);
+    for (index_t i = 0; i < tokens; ++i) {
+      for (index_t j = 0; j < hidden; ++j) want(i, j) += A.view()(i, j);
+    }
+    EXPECT_EQ(max_abs_diff(want.cview(), out.cview()), 0.0)
+        << "with_bias=" << with_bias;
+  }
+
+  // Chained residual blocks: each block adds its own input.
+  model::FfnBlock b0 = make_block(hidden, ffn, cfg, rng, true);
+  model::FfnBlock b1 = make_block(hidden, 112, cfg, rng, false);
+  b0.residual = b1.residual = true;
+  Engine engine;
+  auto chain = engine.plan_model(tokens, {b0, b1});
+  NMSPMM_ASSERT_OK(chain.status());
+  const MatrixF A = random_int_matrix(tokens, hidden, rng);
+  MatrixF out(tokens, hidden);
+  NMSPMM_ASSERT_OK((*chain)->run(A.view(), out.view()));
+  auto p0 = engine.plan_model(tokens, {b0});
+  auto p1 = engine.plan_model(tokens, {b1});
+  NMSPMM_ASSERT_OK(p0.status());
+  NMSPMM_ASSERT_OK(p1.status());
+  MatrixF mid(tokens, hidden), want(tokens, hidden);
+  NMSPMM_ASSERT_OK((*p0)->run(A.view(), mid.view()));
+  NMSPMM_ASSERT_OK((*p1)->run(mid.view(), want.view()));
+  EXPECT_EQ(max_abs_diff(want.cview(), out.cview()), 0.0);
+}
+
+TEST(ModelPlan, ResidualRequiresMatchingHiddenDims) {
+  Rng rng(959);
+  const NMConfig cfg{2, 4, 16};
+  Engine engine;
+  model::FfnBlock block = make_block(64, 112, cfg, rng, false);
+  block.down = int_weights(112, 80, cfg, rng);  // hidden 64 -> 80
+  block.residual = true;
+  EXPECT_EQ(engine.plan_model(8, {block}).status().code(),
+            StatusCode::kInvalidArgument);
+  block.residual = false;  // without the skip connection the shape is fine
+  NMSPMM_ASSERT_OK(engine.plan_model(8, {block}).status());
+}
+
 TEST(ModelPlan, GeluGatingAndMultiThreadedRunsAgree) {
   Rng rng(951);
   const NMConfig cfg{1, 8, 8};  // high sparsity

@@ -37,7 +37,7 @@ TEST(BatchQueuePolicy, ReadyOnRowBudgetOrDeadline) {
   BatchQueue queue;
   const auto t0 = BatchQueue::Clock::now();
   MatrixF a(3, 8), c(3, 8);
-  queue.push(BatchRequest{a.view(), c.view(), {}, t0});
+  queue.push(BatchRequest{a.view(), c.view(), {}, t0, t0});
   EXPECT_EQ(queue.pending_rows(), 3);
 
   // Not full, deadline not reached.
@@ -46,7 +46,7 @@ TEST(BatchQueuePolicy, ReadyOnRowBudgetOrDeadline) {
   EXPECT_TRUE(queue.ready(t0 + microseconds(100), 8, microseconds(100)));
   // Row budget reached.
   MatrixF a2(5, 8), c2(5, 8);
-  queue.push(BatchRequest{a2.view(), c2.view(), {}, t0});
+  queue.push(BatchRequest{a2.view(), c2.view(), {}, t0, t0});
   EXPECT_TRUE(queue.ready(t0 + microseconds(10), 8, microseconds(100)));
 }
 
@@ -55,8 +55,8 @@ TEST(BatchQueuePolicy, TakeBatchRespectsRowBudgetButNeverStarves) {
   const auto t0 = BatchQueue::Clock::now();
   MatrixF big(10, 4), c_big(10, 4);
   MatrixF small(2, 4), c_small(2, 4);
-  queue.push(BatchRequest{big.view(), c_big.view(), {}, t0});
-  queue.push(BatchRequest{small.view(), c_small.view(), {}, t0});
+  queue.push(BatchRequest{big.view(), c_big.view(), {}, t0, t0});
+  queue.push(BatchRequest{small.view(), c_small.view(), {}, t0, t0});
 
   // An oversized request flushes alone instead of deadlocking.
   auto first = queue.take_batch(/*max_rows=*/4);
@@ -400,6 +400,148 @@ TEST(Server, ShutdownDrainsInFlightRequests) {
   late.c = MatrixF(1, n);
   auto refused = server.submit(late.a.view(), B, late.c.view());
   EXPECT_EQ(refused.get().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerSlo, NearDeadlineRequestFlushesBeforeMaxWait) {
+  Rng rng(910);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 1 << 20;        // never full
+  opt.max_wait_us = 60 * 1000 * 1000;  // fixed policy would wait a minute
+  opt.slo_aware = true;
+  opt.slo_margin_us = 2000;
+  Server server(opt);
+
+  const MatrixF A = random_int_matrix(2, k, rng);
+  MatrixF C(2, n);
+  const auto submitted = std::chrono::steady_clock::now();
+  // 50ms SLO: the only way this resolves before max_wait is the
+  // deadline-driven early flush.
+  auto done = server.submit(A.view(), B, C.view(), {}, /*deadline_us=*/50000);
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  NMSPMM_ASSERT_OK(done.get());
+  const auto waited = std::chrono::steady_clock::now() - submitted;
+  EXPECT_LT(waited, std::chrono::seconds(5));  // nowhere near max_wait
+  EXPECT_EQ(max_abs_diff(reference_for(A.view(), *B).cview(), C.cview()),
+            0.0);
+  const Server::GroupStats stats = server.weights_stats(B.get());
+  EXPECT_EQ(stats.slo_flushes, 1u);
+  EXPECT_EQ(stats.timeout_flushes, 0u);
+}
+
+TEST(ServerSlo, SloAwareOffWaitsOutMaxWaitAndCountsTheViolation) {
+  Rng rng(911);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 1 << 20;
+  opt.max_wait_us = 30000;  // 30ms fixed flush window
+  opt.slo_aware = false;    // deadlines tracked, never acted on
+  Server server(opt);
+
+  const MatrixF A = random_int_matrix(2, k, rng);
+  MatrixF C(2, n);
+  auto done = server.submit(A.view(), B, C.view(), {}, /*deadline_us=*/1000);
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  NMSPMM_ASSERT_OK(done.get());  // still served, just late
+  const Server::GroupStats stats = server.weights_stats(B.get());
+  EXPECT_EQ(stats.slo_flushes, 0u);
+  EXPECT_GE(stats.timeout_flushes, 1u);
+  EXPECT_GE(stats.slo_violations, 1u);
+}
+
+TEST(ServerSlo, ShutdownFailsExpiredDeadlinesInsteadOfServingThem) {
+  Rng rng(912);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 1 << 20;
+  opt.max_wait_us = 60 * 1000 * 1000;  // nothing flushes before shutdown
+  opt.slo_aware = false;               // keep the expired request queued
+  Server server(opt);
+
+  MatrixF a_expired = random_int_matrix(2, k, rng);
+  MatrixF c_expired(2, n);
+  const MatrixF a_live = random_int_matrix(2, k, rng);
+  MatrixF c_live(2, n);
+  auto expired = server.submit(a_expired.view(), B, c_expired.view(), {},
+                               /*deadline_us=*/1000);
+  auto live = server.submit(a_live.view(), B, c_live.view());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // 1ms SLO gone
+
+  // The drain must fail the dead request fast — not hang its future, not
+  // burn drain time serving it — while still serving the live one.
+  server.shutdown();
+  ASSERT_EQ(expired.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(expired.get().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_EQ(live.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  NMSPMM_ASSERT_OK(live.get());
+  EXPECT_EQ(
+      max_abs_diff(reference_for(a_live.view(), *B).cview(), c_live.cview()),
+      0.0);
+  const auto stats = server.stats();
+  EXPECT_GE(stats.totals.errors, 1u);
+  EXPECT_GE(stats.totals.slo_violations, 1u);
+}
+
+TEST(ServerTelemetry, StatsExposePerStagePerClassLatency) {
+  Rng rng(913);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.max_batch_rows = 8;
+  opt.max_wait_us = 500;
+  Server server(opt);  // telemetry defaults on
+
+  for (int i = 0; i < 6; ++i) {
+    const MatrixF a1 = random_int_matrix(1, k, rng);  // decode (bypassed)
+    MatrixF c1(1, n);
+    NMSPMM_ASSERT_OK(server.submit(a1.view(), B, c1.view()).get());
+    const MatrixF a3 = random_int_matrix(3, k, rng);  // prefill (batched)
+    MatrixF c3(3, n);
+    NMSPMM_ASSERT_OK(server.submit(a3.view(), B, c3.view()).get());
+  }
+
+  using serve::RequestClass;
+  using serve::Stage;
+  const auto latency = server.stats().latency;
+  EXPECT_EQ(latency.requests(RequestClass::kDecode), 6u);
+  EXPECT_EQ(latency.requests(RequestClass::kPrefill), 6u);
+  // Batched prefill requests pass through every stage; bypassed decode
+  // requests skip queue/gather but record submit/execute/total.
+  EXPECT_EQ(latency.stage(RequestClass::kPrefill, Stage::kQueue).count, 6u);
+  EXPECT_EQ(latency.stage(RequestClass::kPrefill, Stage::kGather).count, 6u);
+  EXPECT_EQ(latency.stage(RequestClass::kDecode, Stage::kExecute).count, 6u);
+  EXPECT_EQ(latency.stage(RequestClass::kDecode, Stage::kQueue).count, 0u);
+  EXPECT_GT(latency.stage(RequestClass::kPrefill, Stage::kTotal).p99(), 0u);
+  // The per-target view agrees with the aggregate for a one-group server.
+  EXPECT_EQ(server.weights_latency(B.get()).total_requests(),
+            latency.total_requests());
+  EXPECT_EQ(latency.total_violations(), 0u);
+}
+
+TEST(ServerTelemetry, CanBeDisabled) {
+  Rng rng(914);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+  ServerOptions opt;
+  opt.telemetry = false;
+  opt.max_wait_us = 500;
+  Server server(opt);
+  const MatrixF A = random_int_matrix(2, k, rng);
+  MatrixF C(2, n);
+  NMSPMM_ASSERT_OK(server.submit(A.view(), B, C.view()).get());
+  EXPECT_EQ(server.stats().latency.total_requests(), 0u);
+  EXPECT_EQ(server.weights_stats(B.get()).requests, 1u);  // stats still on
 }
 
 }  // namespace

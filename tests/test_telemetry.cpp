@@ -1,0 +1,151 @@
+// serve::Telemetry: log-scale histogram bucket boundaries and percentile
+// semantics, lock-free per-thread shard recording merged correctly under
+// concurrent writers, and snapshot merge/subtract arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/telemetry.hpp"
+
+namespace nmspmm::serve {
+namespace {
+
+TEST(LatencyHistogram, BucketBoundariesRoundTripExactly) {
+  // Values below 16us land in exact unit buckets.
+  for (std::uint64_t us = 0; us < LatencyHistogram::kSubBuckets; ++us) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(us), static_cast<int>(us));
+    EXPECT_EQ(LatencyHistogram::bucket_lower_us(static_cast<int>(us)), us);
+  }
+  // Every bucket's lower bound maps back to that bucket, and the value
+  // just below it maps to the previous bucket: the partition is exact.
+  for (int b = 1; b < LatencyHistogram::kBuckets; ++b) {
+    const std::uint64_t lower = LatencyHistogram::bucket_lower_us(b);
+    EXPECT_EQ(LatencyHistogram::bucket_index(lower), b) << "bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_index(lower - 1), b - 1)
+        << "bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_upper_us(b - 1), lower);
+    // Log-scale resolution: bucket width stays within ~6.25% of the
+    // value, so percentile overestimates are bounded the same way.
+    EXPECT_LE(LatencyHistogram::bucket_upper_us(b) - lower,
+              std::max<std::uint64_t>(1, lower / LatencyHistogram::kSubBuckets))
+        << "bucket " << b;
+  }
+  // Values at or past the clamp land in the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::uint64_t{1} << 26),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, RecordsIntoOrderedBuckets) {
+  LatencyHistogram hist;
+  hist.record(0);
+  hist.record(15);
+  hist.record(16);
+  hist.record(17);
+  hist.record(1000);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(15), 1u);
+  EXPECT_EQ(hist.bucket_count(16), 1u);  // first sub-bucket of [16, 32)
+  EXPECT_EQ(hist.bucket_count(17), 1u);
+  EXPECT_EQ(hist.bucket_count(LatencyHistogram::bucket_index(1000)), 1u);
+  EXPECT_EQ(hist.sum_us(), 0u + 15 + 16 + 17 + 1000);
+}
+
+TEST(StageSnapshot, PercentileReturnsBucketUpperBound) {
+  StageSnapshot snap;
+  EXPECT_EQ(snap.percentile(0.99), 0u);  // empty
+  // 100 samples: 1..100us. p50 covers the 50th sample (50us), p99 the
+  // 99th (99us); each reported as its bucket's exclusive upper bound.
+  for (std::uint64_t us = 1; us <= 100; ++us) {
+    const int b = LatencyHistogram::bucket_index(us);
+    snap.counts[b] += 1;
+    snap.count += 1;
+    snap.sum_us += us;
+  }
+  const auto upper = [](std::uint64_t us) {
+    return LatencyHistogram::bucket_upper_us(
+        LatencyHistogram::bucket_index(us));
+  };
+  EXPECT_EQ(snap.p50(), upper(50));
+  EXPECT_EQ(snap.p95(), upper(95));
+  EXPECT_EQ(snap.p99(), upper(99));
+  EXPECT_EQ(snap.percentile(0.0), upper(1));
+  EXPECT_EQ(snap.percentile(1.0), upper(100));
+  // The overestimate is bounded by the bucket width: <= 6.25% + 1.
+  EXPECT_LE(snap.p99(), 99 + 99 / 16 + 1);
+  EXPECT_GE(snap.p99(), 99u);
+  EXPECT_DOUBLE_EQ(snap.mean_us(), 50.5);
+}
+
+TEST(Telemetry, ConcurrentRecordingMergesWithoutLoss) {
+  Telemetry telemetry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&telemetry, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // Spread samples across classes, stages, and buckets.
+        const auto cls =
+            (i % 2 == 0) ? RequestClass::kDecode : RequestClass::kPrefill;
+        telemetry.record(cls, Stage::kTotal, i % 257);
+        telemetry.record(cls, Stage::kQueue, static_cast<std::uint64_t>(t));
+      }
+      telemetry.count_violation(RequestClass::kDecode);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const TelemetrySnapshot snap = telemetry.snapshot();
+  // Every sample from every shard must be present exactly once.
+  EXPECT_EQ(snap.total_requests(), kThreads * kPerThread);
+  EXPECT_EQ(snap.requests(RequestClass::kDecode), kThreads * kPerThread / 2);
+  EXPECT_EQ(snap.requests(RequestClass::kPrefill), kThreads * kPerThread / 2);
+  EXPECT_EQ(snap.stage(RequestClass::kDecode, Stage::kQueue).count,
+            kThreads * kPerThread / 2);
+  EXPECT_EQ(snap.violations[static_cast<int>(RequestClass::kDecode)],
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(snap.total_violations(), static_cast<std::uint64_t>(kThreads));
+  // Sum survives the shard merge: per-thread kTotal sums are identical.
+  std::uint64_t want_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) want_sum += i % 257;
+  EXPECT_EQ(snap.stage(RequestClass::kDecode, Stage::kTotal).sum_us +
+                snap.stage(RequestClass::kPrefill, Stage::kTotal).sum_us,
+            want_sum * kThreads);
+}
+
+TEST(Telemetry, SnapshotSubtractIsolatesAnInterval) {
+  Telemetry telemetry;
+  telemetry.record(RequestClass::kDecode, Stage::kTotal, 10);
+  telemetry.record(RequestClass::kDecode, Stage::kTotal, 20);
+  telemetry.count_violation(RequestClass::kPrefill);
+  const TelemetrySnapshot before = telemetry.snapshot();
+
+  telemetry.record(RequestClass::kDecode, Stage::kTotal, 30);
+  telemetry.record(RequestClass::kPrefill, Stage::kTotal, 1000);
+  telemetry.count_violation(RequestClass::kPrefill);
+  TelemetrySnapshot delta = telemetry.snapshot();
+  delta.subtract(before);
+
+  EXPECT_EQ(delta.requests(RequestClass::kDecode), 1u);
+  EXPECT_EQ(delta.requests(RequestClass::kPrefill), 1u);
+  EXPECT_EQ(delta.stage(RequestClass::kDecode, Stage::kTotal).sum_us, 30u);
+  EXPECT_EQ(delta.total_violations(), 1u);
+
+  // merge() is the inverse direction: before + delta == now.
+  TelemetrySnapshot sum = before;
+  sum.merge(delta);
+  EXPECT_EQ(sum.total_requests(), telemetry.snapshot().total_requests());
+}
+
+TEST(Telemetry, ClassifyRowsSplitsDecodeAndPrefill) {
+  EXPECT_EQ(classify_rows(1), RequestClass::kDecode);
+  EXPECT_EQ(classify_rows(2), RequestClass::kPrefill);
+  EXPECT_EQ(classify_rows(512), RequestClass::kPrefill);
+}
+
+}  // namespace
+}  // namespace nmspmm::serve
