@@ -17,7 +17,15 @@
 //      offered rate — the decode p99 gap is what the SLO-aware
 //      dispatcher buys;
 //   4. submit overhead: contended multi-thread submit throughput with
-//      telemetry on vs off — the lock-free capture path must be free.
+//      telemetry on vs off — the lock-free capture path must be free;
+//   5. submit scaling: achieved rps at 1/2/4/8 submitter threads — the
+//      sharded lock-free submit path must not serialize under
+//      contention (emitted as "submit_scaling" for the trend gate).
+//
+// The sweep additionally replays the mid load with bursty MMPP-2
+// arrivals (same mean rate) and emits its per-class p99 as "bursty":
+// burst absorption is a tail-latency property Poisson arrivals cannot
+// measure, and the trend gate watches it separately.
 //
 // Emits a "serving_open" section merged into BENCH_spmm.json (--merge,
 // the CI mode) or a standalone JSON (--out). Exits non-zero on schema
@@ -176,6 +184,7 @@ int main(int argc, char** argv) {
   cli.add_int("decode_deadline_us", 3000, "decode-class SLO budget");
   cli.add_int("prefill_deadline_us", 50000, "prefill-class SLO budget");
   cli.add_int("threads", 0, "engine pool size (0 = hardware concurrency)");
+  cli.add_int("shards", 0, "server dispatcher shards (0 = auto)");
   cli.add_int("submit_threads", 2, "open-loop source threads");
   cli.add_int("seed", 42, "traffic schedule seed");
   cli.add_int("store_budget_mb", 256,
@@ -227,8 +236,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("store_budget_mb")) << 20;
   engine_opt.weight_store = std::make_shared<mem::WeightStore>(store_opt);
 
+  const auto num_shards = static_cast<unsigned>(cli.get_int("shards"));
+
   ServerOptions sweep_opt;
   sweep_opt.engine = engine_opt;
+  sweep_opt.num_shards = num_shards;
   // Measure the batching path: the single-row bypass would serve the
   // whole decode stream synchronously and there would be no queueing to
   // observe.
@@ -276,39 +288,59 @@ int main(int argc, char** argv) {
     double offered_rps = 0.0;
     double achieved_rps = 0.0;
     std::uint64_t stalls = 0;
+    std::uint64_t ring_stalls = 0;
     std::uint64_t slo_violations = 0;
     std::uint64_t submitted = 0;
     ClassLatency decode;
     ClassLatency prefill;
   };
-  std::vector<LoadResult> loads;
-  for (double rps : offered) {
+  auto run_load = [&](Server& server, double rps,
+                      serve::ArrivalProcess arrivals) {
     serve::TrafficOptions opts = traffic;
+    opts.arrivals = arrivals;
     opts.offered_rps = std::max(1.0, rps);
     opts.duration_s = duration_s;
-    auto report = serve::run_open_loop(sweep_server, targets, opts);
+    auto report = serve::run_open_loop(server, targets, opts);
     NMSPMM_CHECK_OK(report.status());
     LoadResult r;
     r.offered_rps = opts.offered_rps;
     r.achieved_rps = report->achieved_rps;
     r.stalls = report->stalls;
+    r.ring_stalls = report->ring_stalls;
     r.slo_violations = report->slo_violations;
     r.submitted = report->submitted;
     r.decode = class_latency(*report, serve::RequestClass::kDecode);
     r.prefill = class_latency(*report, serve::RequestClass::kPrefill);
-    loads.push_back(r);
+    return r;
+  };
+  std::vector<LoadResult> loads;
+  for (double rps : offered) {
+    loads.push_back(run_load(sweep_server, rps, traffic.arrivals));
   }
 
-  ResultTable table({"offered rps", "achieved rps", "decode p50/p95/p99 us",
-                     "prefill p50/p95/p99 us", "violations", "stalls"});
-  for (const LoadResult& r : loads) {
+  // Bursty tail: the mid-load offered rate again, but as MMPP-2
+  // flash-crowd arrivals. The mean rate is identical to the Poisson
+  // mid load; the p99 gap is what burst absorption costs, and the
+  // committed artifact carries it so the trend gate can watch it rot.
+  const LoadResult bursty_mid =
+      run_load(sweep_server, loads[1].offered_rps,
+               serve::ArrivalProcess::kBursty);
+
+  ResultTable table({"arrivals", "offered rps", "achieved rps",
+                     "decode p50/p95/p99 us", "prefill p50/p95/p99 us",
+                     "violations", "stalls", "ring stalls"});
+  auto add_load_row = [&table](const char* arrivals, const LoadResult& r) {
     std::ostringstream d, p;
     d << r.decode.p50 << "/" << r.decode.p95 << "/" << r.decode.p99;
     p << r.prefill.p50 << "/" << r.prefill.p95 << "/" << r.prefill.p99;
-    table.add_row({fmt2(r.offered_rps), fmt2(r.achieved_rps), d.str(), p.str(),
-                   std::to_string(r.slo_violations),
-                   std::to_string(r.stalls)});
-  }
+    table.add_row({arrivals, fmt2(r.offered_rps), fmt2(r.achieved_rps),
+                   d.str(), p.str(), std::to_string(r.slo_violations),
+                   std::to_string(r.stalls),
+                   std::to_string(r.ring_stalls)});
+  };
+  const char* sweep_arrivals = cli.get_flag("bursty") ? "bursty" : "poisson";
+  for (const LoadResult& r : loads) add_load_row(sweep_arrivals, r);
+  add_load_row("bursty", bursty_mid);
   print_table(table);
 
   // Schema checks: every load must have resolved requests in both
@@ -345,7 +377,7 @@ int main(int argc, char** argv) {
   const double mid_rps =
       std::min(loads[1].offered_rps, 0.25 / decode_exec_s);
   auto run_policy = [&](bool slo_aware) {
-    ServerOptions opt = sweep_opt;
+    ServerOptions opt = sweep_opt;  // carries num_shards
     opt.slo_aware = slo_aware;
     opt.max_wait_us = 5000;  // generous: what a fixed policy costs decode
     // Headroom ~ one decode batch's service time, so the early flush
@@ -385,6 +417,7 @@ int main(int argc, char** argv) {
   auto make_overhead_server = [&](bool telemetry) {
     ServerOptions opt;
     opt.engine.num_threads = static_cast<unsigned>(cli.get_int("threads"));
+    opt.num_shards = num_shards;
     opt.telemetry = telemetry;
     auto server = std::make_unique<Server>(opt);
     // Warm the plan cache so the measured loop is pure submit + serve.
@@ -410,6 +443,32 @@ int main(int argc, char** argv) {
             << " rps with telemetry vs " << fmt2(rps_off)
             << " rps without (ratio " << fmt2(rps_on / rps_off) << ")\n";
 
+  // --- 5. submit scaling: achieved rps as submitter threads grow.
+  // This is the sharded-dispatch payoff surface: with lock-free rings
+  // the submit path itself must not serialize, so achieved throughput
+  // should hold (and on multi-core, grow) as contention rises. One
+  // fixed server (telemetry on — the production configuration), same
+  // total request count per point, best-of-3 per point.
+  const int scaling_threads[4] = {1, 2, 4, 8};
+  double scaling_rps[4] = {0.0, 0.0, 0.0, 0.0};
+  auto scaling_server = make_overhead_server(true);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      const int threads = scaling_threads[i];
+      const int per = std::max(1, overhead_threads * per_thread / threads);
+      scaling_rps[i] = std::max(
+          scaling_rps[i],
+          submit_throughput(*scaling_server, small_weights, threads, per));
+    }
+  }
+  std::cout << "submit scaling:";
+  for (int i = 0; i < 4; ++i) {
+    std::cout << " " << scaling_threads[i] << "t=" << fmt2(scaling_rps[i])
+              << "rps";
+  }
+  std::cout << " (4t/1t ratio " << fmt2(scaling_rps[2] / scaling_rps[0])
+            << ")\n";
+
   // --- JSON section. The "gate" block is what check_perf_trend.py
   // regresses on: the mid-load per-class p99 (plus the offered rate, so
   // the gate can skip when two artifacts measured different loads).
@@ -426,13 +485,29 @@ int main(int argc, char** argv) {
     json << "\n      {\"offered_rps\": " << fmt2(r.offered_rps)
          << ", \"achieved_rps\": " << fmt2(r.achieved_rps)
          << ", \"stalls\": " << r.stalls
+         << ", \"ring_stalls\": " << r.ring_stalls
          << ", \"slo_violations\": " << r.slo_violations << ", ";
     append_class_json(json, "decode", r.decode);
     json << ", ";
     append_class_json(json, "prefill", r.prefill);
     json << "}";
   }
-  json << "],\n    \"slo_compare\": {\"offered_rps\": " << fmt2(mid_rps)
+  json << "],\n    \"bursty\": {\"offered_rps\": "
+       << fmt2(bursty_mid.offered_rps)
+       << ", \"achieved_rps\": " << fmt2(bursty_mid.achieved_rps)
+       << ", \"decode_p99_us\": " << bursty_mid.decode.p99
+       << ", \"prefill_p99_us\": " << bursty_mid.prefill.p99
+       << ", \"slo_violations\": " << bursty_mid.slo_violations
+       << ", \"ring_stalls\": " << bursty_mid.ring_stalls << "}"
+       << ",\n    \"submit_scaling\": {\"shards\": "
+       << cli.get_int("shards") << ", \"points\": [";
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) json << ", ";
+    json << "{\"threads\": " << scaling_threads[i]
+         << ", \"rps\": " << fmt2(scaling_rps[i]) << "}";
+  }
+  json << "]}"
+       << ",\n    \"slo_compare\": {\"offered_rps\": " << fmt2(mid_rps)
        << ", \"max_wait_us\": 5000"
        << ", \"fixed_decode_p99_us\": " << fixed_decode.p99
        << ", \"slo_decode_p99_us\": " << slo_decode.p99

@@ -152,6 +152,50 @@ def main(argv=None):
                       f"serving_open {cls} p99: {was} -> {now} us "
                       f"({delta:+.1%})")
 
+    # Bursty tail: MMPP-2 arrivals at the mid load. Same quantity caveat
+    # as the gate block — p99 under a different offered load is a
+    # different number, so skip when the loads moved more than 25%.
+    bb = base.get("serving_open", {}).get("bursty", {})
+    fb = fresh.get("serving_open", {}).get("bursty", {})
+    if bb.get("offered_rps") and fb.get("offered_rps"):
+        was_rps, now_rps = bb["offered_rps"], fb["offered_rps"]
+        if abs(now_rps - was_rps) > 0.25 * was_rps:
+            print(f"WARN: serving_open bursty load moved {was_rps:.0f} -> "
+                  f"{now_rps:.0f} rps (>25%); bursty p99 gate skipped — "
+                  "regenerate and commit the baseline artifact.")
+        else:
+            for cls in ("decode", "prefill"):
+                was = bb.get(f"{cls}_p99_us")
+                now = fb.get(f"{cls}_p99_us")
+                if not was or now is None:
+                    continue
+                delta = (now - was) / was  # lower is better for us: negate
+                judge(-delta,
+                      f"serving_open bursty {cls} p99: {was} -> {now} us "
+                      f"({delta:+.1%})")
+
+    # Contended-submit scaling: achieved rps per submitter-thread count.
+    # A point regressing means the lock-free submit path (or a shard
+    # dispatcher behind it) started serializing; each point gates like a
+    # kernel variant. Points are matched by thread count.
+    bp = {p.get("threads"): p
+          for p in base.get("serving_open", {})
+                       .get("submit_scaling", {}).get("points", [])}
+    for p in fresh.get("serving_open", {}) \
+                  .get("submit_scaling", {}).get("points", []):
+        threads = p.get("threads")
+        was = bp.get(threads, {}).get("rps")
+        now = p.get("rps")
+        if not was or now is None:
+            if threads is not None:
+                print(f"WARN: submit_scaling {threads}t has no baseline; "
+                      "skipping")
+            continue
+        delta = (now - was) / was
+        judge(delta,
+              f"submit_scaling {threads}t: {was:.0f} -> {now:.0f} rps "
+              f"({delta:+.1%})")
+
     if failures:
         print(f"\n{len(failures)} section(s) regressed more than "
               f"{args.threshold:.0%}:")

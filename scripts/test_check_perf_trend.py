@@ -22,7 +22,8 @@ import check_perf_trend  # noqa: E402
 
 def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
              fused_ms=2.0, offered_rps=1000.0, decode_p99_us=2000,
-             prefill_p99_us=20000):
+             prefill_p99_us=20000, bursty_offered_rps=1000.0,
+             bursty_decode_p99_us=4000, submit_4t_rps=20000.0):
     return {
         "bench": "bench_resident",
         "schema_version": 2,
@@ -40,6 +41,13 @@ def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
             "gate": {"offered_rps": offered_rps,
                      "decode_p99_us": decode_p99_us,
                      "prefill_p99_us": prefill_p99_us},
+            "bursty": {"offered_rps": bursty_offered_rps,
+                       "decode_p99_us": bursty_decode_p99_us,
+                       "prefill_p99_us": 40000},
+            "submit_scaling": {"shards": 0, "points": [
+                {"threads": 1, "rps": 10000.0},
+                {"threads": 4, "rps": submit_4t_rps},
+            ]},
         },
     }
 
@@ -182,6 +190,51 @@ class CheckPerfTrendTest(unittest.TestCase):
         del base["serving_open"]
         self.write(self.baseline, base)
         self.write(self.fresh, artifact(decode_p99_us=9000))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_bursty_p99_regression_fails_on_same_cpu(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(bursty_decode_p99_us=6000))  # +50%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_bursty_warns_only_across_cpus(self):
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh, artifact(bursty_decode_p99_us=6000))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_bursty_skips_when_offered_load_moved(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(bursty_offered_rps=2000.0,
+                                        bursty_decode_p99_us=20000))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_submit_scaling_regression_fails_on_same_cpu(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(submit_4t_rps=10000.0))  # -50%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_submit_scaling_warns_only_across_cpus(self):
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh, artifact(submit_4t_rps=10000.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_submit_scaling_new_point_without_baseline_is_skipped(self):
+        base = artifact()
+        base["serving_open"]["submit_scaling"]["points"] = [
+            {"threads": 1, "rps": 10000.0}]
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(submit_4t_rps=1.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_baseline_without_new_sections_is_skipped(self):
+        # Baselines predating the bursty/submit_scaling blocks must not
+        # fail the gate when a fresh artifact carries them.
+        base = artifact()
+        del base["serving_open"]["bursty"]
+        del base["serving_open"]["submit_scaling"]
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(bursty_decode_p99_us=99999,
+                                        submit_4t_rps=1.0))
         self.assertEqual(self.run_gate(), 0)
 
     def test_new_sections_in_fresh_do_not_break_old_baselines(self):

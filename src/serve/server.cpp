@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
@@ -21,7 +22,16 @@ void accumulate(Server::GroupStats& into, const Server::GroupStats& from) {
   into.bypassed += from.bypassed;
   into.errors += from.errors;
   into.slo_violations += from.slo_violations;
+  into.split_batches += from.split_batches;
   into.max_queue_depth = std::max(into.max_queue_depth, from.max_queue_depth);
+}
+
+/// Monotone max over a relaxed atomic (peak-depth tracking).
+void atomic_max(std::atomic<std::size_t>& target, std::size_t value) {
+  std::size_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
 }
 
 /// Bytes the dispatcher's staging matrices need for one batch of
@@ -53,6 +63,18 @@ Clock::time_point deadline_from(Clock::time_point submitted,
   return submitted + std::chrono::microseconds(deadline_us);
 }
 
+/// Finalizing mix of MurmurHash3 — spreads pointer identity across all
+/// bits so the shard index uses more than allocator alignment bits.
+std::uint64_t mix_pointer(const void* p) {
+  auto x = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
 }  // namespace
 
 std::size_t Server::GroupKeyHash::operator()(
@@ -63,22 +85,83 @@ std::size_t Server::GroupKeyHash::operator()(
   return h;
 }
 
+Server::GroupStats Server::GroupCounters::snapshot() const {
+  GroupStats s;
+  s.requests = requests.load(std::memory_order_relaxed);
+  s.rows = rows.load(std::memory_order_relaxed);
+  s.batches = batches.load(std::memory_order_relaxed);
+  s.full_flushes = full_flushes.load(std::memory_order_relaxed);
+  s.timeout_flushes = timeout_flushes.load(std::memory_order_relaxed);
+  s.slo_flushes = slo_flushes.load(std::memory_order_relaxed);
+  s.bypassed = bypassed.load(std::memory_order_relaxed);
+  s.errors = errors.load(std::memory_order_relaxed);
+  s.slo_violations = slo_violations.load(std::memory_order_relaxed);
+  s.split_batches = split_batches.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::GroupCounters::count_flush(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kFull:
+      full_flushes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kSlo:
+      slo_flushes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kTimeout:
+    case FlushReason::kShutdown:
+      // Drain flushes count with the timeout flushes rather than
+      // inventing a counter for a one-off shutdown state.
+      timeout_flushes.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
 Server::Server(ServerOptions options)
     : options_(options), engine_(options.engine) {
   if (options_.max_batch_rows < 1) options_.max_batch_rows = 1;
   if (options_.max_groups < 1) options_.max_groups = 1;
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (options_.split_min_avg_rows < 1) options_.split_min_avg_rows = 1;
+  if (options_.num_shards == 0) {
+    // Auto: half the hardware threads for dispatch, clamped to [1, 4] —
+    // the engine pool is the bottleneck long before 4 dispatchers are.
+    options_.num_shards =
+        std::clamp(std::thread::hardware_concurrency() / 2, 1u, 4u);
+  }
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1024;
+  shards_.reserve(options_.num_shards);
+  for (unsigned i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(options_.ring_capacity, options_.telemetry));
+  }
+  options_.ring_capacity = shards_.front()->ring.capacity();
+  // Threads start only after every shard exists: a dispatcher never
+  // observes a half-built shard vector.
+  for (auto& shard : shards_) {
+    shard->dispatcher =
+        std::thread([this, s = shard.get()] { dispatcher_loop(*s); });
+  }
 }
 
 Server::~Server() { shutdown(); }
 
 void Server::shutdown() {
-  {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& shard : shards_) {
+    // Lock-then-notify: a dispatcher between its predicate check and
+    // cv.wait holds the mutex, so acquiring it here guarantees the
+    // notify is not lost.
+    { std::lock_guard lock(shard->mutex); }
+    shard->cv.notify_all();
   }
-  work_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  for (auto& shard : shards_) {
+    if (shard->dispatcher.joinable()) shard->dispatcher.join();
+  }
+}
+
+Server::Shard& Server::shard_of(const void* target) const {
+  return *shards_[mix_pointer(target) % shards_.size()];
 }
 
 std::future<Status> Server::submit(ConstViewF A,
@@ -120,78 +203,9 @@ std::future<Status> Server::submit(ConstViewF A,
   // Requests batch only when one plan serves them all: normalize the
   // thread count exactly as the engine does for its cache key.
   options.num_threads = engine_.normalized_num_threads();
-  const GroupKey key{B.get(), /*ffn=*/false, options};
-  const auto cls = serve::classify_rows(A.rows());
-  std::shared_ptr<serve::Telemetry> telemetry;
-  bool bypass = false;
-  {
-    std::lock_guard lock(mutex_);
-    if (stop_) {
-      done.set_value(Status::FailedPrecondition("server is shut down"));
-      return result;
-    }
-    std::unique_ptr<Group>& group = groups_[key];
-    if (group == nullptr) {
-      group = std::make_unique<Group>();
-      group->weights = B;
-      if (options_.telemetry) {
-        group->telemetry = std::make_shared<serve::Telemetry>();
-      }
-    }
-    telemetry = group->telemetry;
-    group->stats.requests += 1;
-    group->stats.rows += static_cast<std::uint64_t>(A.rows());
-    // Single-row fast path: with nothing pending in the group there is
-    // nothing to coalesce with — serve synchronously below (outside the
-    // lock) instead of paying the dispatch round-trip. Skips batch
-    // accounting entirely (no batches / flush counters).
-    bypass = options_.bypass_single_rows && A.rows() == 1 &&
-             group->queue.empty();
-    if (bypass) {
-      group->stats.bypassed += 1;
-    } else {
-      group->queue.push(BatchRequest{A, C, std::move(done), submitted,
-                                     Clock::now(),
-                                     deadline_from(submitted, deadline_us)});
-      group->stats.max_queue_depth = group->queue.max_depth_seen();
-    }
-    prune_idle_groups_locked(group.get());
-  }
-  if (bypass) {
-    const auto exec_start = Clock::now();
-    const Status status = engine_.spmm(A, std::move(B), C, options);
-    const auto resolved = Clock::now();
-    const bool violated = deadline_us != 0 &&
-                          resolved > deadline_from(submitted, deadline_us);
-    // Telemetry rides the shared_ptr, outside the lock: the bypassed
-    // request never queued or gathered, so only submit-side overhead,
-    // execution, and the end-to-end total are recorded.
-    if (telemetry != nullptr) {
-      telemetry->record(cls, serve::Stage::kSubmit,
-                        elapsed_us(submitted, exec_start));
-      telemetry->record(cls, serve::Stage::kExecute,
-                        elapsed_us(exec_start, resolved));
-      telemetry->record(cls, serve::Stage::kTotal,
-                        elapsed_us(submitted, resolved));
-      if (violated) telemetry->count_violation(cls);
-    }
-    if (!status.ok() || violated) {
-      std::lock_guard lock(mutex_);
-      auto it = groups_.find(key);
-      GroupStats& stats =
-          it != groups_.end() ? it->second->stats : retired_;
-      if (!status.ok()) stats.errors += 1;
-      if (violated) stats.slo_violations += 1;
-    }
-    done.set_value(status);
-    return result;
-  }
-  if (telemetry != nullptr) {
-    telemetry->record(cls, serve::Stage::kSubmit,
-                      elapsed_us(submitted, Clock::now()));
-  }
-  work_cv_.notify_all();
-  return result;
+  GroupKey key{B.get(), /*ffn=*/false, options};
+  return enqueue(std::move(key), std::move(B), nullptr, A, C, deadline_us,
+                 submitted, std::move(done), std::move(result));
 }
 
 std::future<Status> Server::submit_ffn(ConstViewF A,
@@ -228,70 +242,140 @@ std::future<Status> Server::submit_ffn(ConstViewF A,
     done.set_value(Status::FailedPrecondition(os.str()));
     return result;
   }
-  const GroupKey key{plan.get(), /*ffn=*/true, SpmmOptions{}};
-  const auto cls = serve::classify_rows(A.rows());
-  std::shared_ptr<serve::Telemetry> telemetry;
-  bool bypass = false;
-  {
-    std::lock_guard lock(mutex_);
-    if (stop_) {
-      done.set_value(Status::FailedPrecondition("server is shut down"));
-      return result;
-    }
-    std::unique_ptr<Group>& group = groups_[key];
-    if (group == nullptr) {
-      group = std::make_unique<Group>();
-      group->ffn_plan = plan;
-      if (options_.telemetry) {
-        group->telemetry = std::make_shared<serve::Telemetry>();
-      }
-    }
-    telemetry = group->telemetry;
-    group->stats.requests += 1;
-    group->stats.rows += static_cast<std::uint64_t>(A.rows());
-    bypass = options_.bypass_single_rows && A.rows() == 1 &&
-             group->queue.empty();
-    if (bypass) {
-      group->stats.bypassed += 1;
-    } else {
-      group->queue.push(BatchRequest{A, out, std::move(done), submitted,
-                                     Clock::now(),
-                                     deadline_from(submitted, deadline_us)});
-      group->stats.max_queue_depth = group->queue.max_depth_seen();
-    }
-    prune_idle_groups_locked(group.get());
+  GroupKey key{plan.get(), /*ffn=*/true, SpmmOptions{}};
+  return enqueue(std::move(key), nullptr, std::move(plan), A, out,
+                 deadline_us, submitted, std::move(done), std::move(result));
+}
+
+std::future<Status> Server::enqueue(GroupKey key,
+                                    std::shared_ptr<const CompressedNM>
+                                        weights,
+                                    std::shared_ptr<model::ModelPlan> plan,
+                                    ConstViewF A, ViewF C,
+                                    std::uint64_t deadline_us,
+                                    Clock::time_point submitted,
+                                    std::promise<Status> done,
+                                    std::future<Status> result) {
+  Shard& shard = shard_of(key.target);
+  if (stop_.load(std::memory_order_seq_cst)) {
+    done.set_value(Status::FailedPrecondition("server is shut down"));
+    return result;
   }
-  if (bypass) {
-    const auto exec_start = Clock::now();
-    const Status status = plan->run(A, out);
-    const auto resolved = Clock::now();
-    const bool violated = deadline_us != 0 &&
-                          resolved > deadline_from(submitted, deadline_us);
-    if (telemetry != nullptr) {
-      telemetry->record(cls, serve::Stage::kSubmit,
-                        elapsed_us(submitted, exec_start));
-      telemetry->record(cls, serve::Stage::kExecute,
-                        elapsed_us(exec_start, resolved));
-      telemetry->record(cls, serve::Stage::kTotal,
-                        elapsed_us(submitted, resolved));
-      if (violated) telemetry->count_violation(cls);
+  const auto cls = serve::classify_rows(A.rows());
+
+  // Single-row fast path: with nothing in flight on the shard there is
+  // nothing to coalesce with — serve synchronously here instead of
+  // paying the dispatch round-trip. Skips batch accounting entirely
+  // (no batches / flush counters). The shard mutex taken to look up the
+  // group is uncontended by construction (the shard is idle).
+  if (options_.bypass_single_rows && A.rows() == 1 &&
+      shard.inflight.load(std::memory_order_seq_cst) == 0) {
+    std::shared_ptr<Group> group;
+    {
+      std::lock_guard lock(shard.mutex);
+      std::shared_ptr<Group>& slot = shard.groups[key];
+      if (slot == nullptr) {
+        slot = std::make_shared<Group>();
+        slot->weights = weights;
+        slot->ffn_plan = plan;
+        if (options_.telemetry) {
+          slot->telemetry = std::make_shared<serve::Telemetry>();
+        }
+        shard.groups_seen.fetch_add(1, std::memory_order_relaxed);
+      }
+      group = slot;
+      prune_idle_groups(shard, group.get());
     }
-    if (!status.ok() || violated) {
-      std::lock_guard lock(mutex_);
-      auto it = groups_.find(key);
-      GroupStats& stats =
-          it != groups_.end() ? it->second->stats : retired_;
-      if (!status.ok()) stats.errors += 1;
-      if (violated) stats.slo_violations += 1;
+    Group& g = *group;
+    g.counters.requests.fetch_add(1, std::memory_order_relaxed);
+    g.counters.rows.fetch_add(1, std::memory_order_relaxed);
+    g.counters.bypassed.fetch_add(1, std::memory_order_relaxed);
+    shard.totals.requests.fetch_add(1, std::memory_order_relaxed);
+    shard.totals.rows.fetch_add(1, std::memory_order_relaxed);
+    shard.totals.bypassed.fetch_add(1, std::memory_order_relaxed);
+    const auto exec_start = Clock::now();
+    const Status status = key.ffn ? g.ffn_plan->run(A, C)
+                                  : engine_.spmm(A, g.weights, C, key.options);
+    const auto resolved = Clock::now();
+    const bool violated =
+        deadline_us != 0 && resolved > deadline_from(submitted, deadline_us);
+    // Telemetry rides the shared_ptr, outside the lock: the bypassed
+    // request never queued or gathered, so only submit-side overhead,
+    // execution, and the end-to-end total are recorded.
+    record_stage(shard, g.telemetry.get(), cls, serve::Stage::kSubmit,
+                 elapsed_us(submitted, exec_start));
+    record_stage(shard, g.telemetry.get(), cls, serve::Stage::kExecute,
+                 elapsed_us(exec_start, resolved));
+    record_stage(shard, g.telemetry.get(), cls, serve::Stage::kTotal,
+                 elapsed_us(submitted, resolved));
+    if (violated) {
+      g.counters.slo_violations.fetch_add(1, std::memory_order_relaxed);
+      shard.totals.slo_violations.fetch_add(1, std::memory_order_relaxed);
+      if (g.telemetry != nullptr) g.telemetry->count_violation(cls);
+      if (shard.telemetry != nullptr) shard.telemetry->count_violation(cls);
+    }
+    if (!status.ok()) {
+      g.counters.errors.fetch_add(1, std::memory_order_relaxed);
+      shard.totals.errors.fetch_add(1, std::memory_order_relaxed);
     }
     done.set_value(status);
     return result;
   }
-  if (telemetry != nullptr) {
-    telemetry->record(cls, serve::Stage::kSubmit,
-                      elapsed_us(submitted, Clock::now()));
+
+  // Lock-free publish path. The entrants counter brackets the whole
+  // protocol so the shutdown drain can prove no submitter is about to
+  // publish: a submitter either increments entrants before the
+  // dispatcher's entrants == 0 read (the dispatcher keeps draining), or
+  // after it — in which case seq_cst ordering forces this stop_ load to
+  // see the store that preceded that read, and the submitter fails fast
+  // without publishing.
+  shard.entrants.fetch_add(1, std::memory_order_seq_cst);
+  if (stop_.load(std::memory_order_seq_cst)) {
+    shard.entrants.fetch_sub(1, std::memory_order_seq_cst);
+    done.set_value(Status::FailedPrecondition("server is shut down"));
+    return result;
   }
-  work_cv_.notify_all();
+  // inflight must rise before the publish so the bypass's idle test
+  // cannot miss a request that is already on its way to the ring.
+  shard.inflight.fetch_add(1, std::memory_order_seq_cst);
+  SubmitMsg msg;
+  msg.key = std::move(key);
+  msg.weights = std::move(weights);
+  msg.ffn_plan = std::move(plan);
+  msg.request = BatchRequest{A, C, std::move(done), submitted, Clock::now(),
+                             deadline_from(submitted, deadline_us)};
+  bool stalled = false;
+  unsigned spins = 0;
+  while (!shard.ring.try_push(msg)) {
+    // Ring full ⇒ the dispatcher is awake and draining (it only sleeps
+    // with an empty ring); back off until it frees a slot. Counted once
+    // per stalled request, not per retry.
+    if (!stalled) {
+      stalled = true;
+      shard.ring_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (stop_.load(std::memory_order_seq_cst)) {
+      shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
+      shard.entrants.fetch_sub(1, std::memory_order_seq_cst);
+      msg.request.done.set_value(Status::FailedPrecondition(
+          "server shut down while awaiting ring space"));
+      return result;
+    }
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // Eventcount publish: the counter RMW plus the sleeping load are both
+  // seq_cst, pairing with the dispatcher's {sleeping = true; load
+  // pushed} — one side always sees the other (no lost wakeup).
+  shard.pushed.fetch_add(1, std::memory_order_seq_cst);
+  if (shard.sleeping.load(std::memory_order_seq_cst)) {
+    { std::lock_guard lock(shard.mutex); }
+    shard.cv.notify_all();
+  }
+  shard.entrants.fetch_sub(1, std::memory_order_seq_cst);
   return result;
 }
 
@@ -304,132 +388,210 @@ index_t Server::group_row_budget(const Group& group) const {
   return options_.max_batch_rows;
 }
 
-Server::PendingBatch Server::next_batch_locked(
-    BatchQueue::Clock::time_point now) {
+std::size_t Server::drain_ring(Shard& shard, std::uint64_t& drained,
+                               std::vector<SubmitMsg>& scratch) {
+  scratch.clear();
+  SubmitMsg msg;
+  while (shard.ring.try_pop(msg)) scratch.push_back(std::move(msg));
+  if (scratch.empty()) return 0;
+  drained += scratch.size();
+  std::lock_guard lock(shard.mutex);
+  for (SubmitMsg& m : scratch) {
+    std::shared_ptr<Group>& slot = shard.groups[m.key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Group>();
+      slot->weights = std::move(m.weights);
+      slot->ffn_plan = std::move(m.ffn_plan);
+      if (options_.telemetry) {
+        slot->telemetry = std::make_shared<serve::Telemetry>();
+      }
+      shard.groups_seen.fetch_add(1, std::memory_order_relaxed);
+    }
+    Group& g = *slot;
+    const auto rows = static_cast<std::uint64_t>(m.request.a.rows());
+    g.counters.requests.fetch_add(1, std::memory_order_relaxed);
+    g.counters.rows.fetch_add(rows, std::memory_order_relaxed);
+    shard.totals.requests.fetch_add(1, std::memory_order_relaxed);
+    shard.totals.rows.fetch_add(rows, std::memory_order_relaxed);
+    // kSubmit ends at ring publish; ring residency counts as kQueue.
+    record_stage(shard, g.telemetry.get(),
+                 serve::classify_rows(m.request.a.rows()),
+                 serve::Stage::kSubmit,
+                 elapsed_us(m.request.submitted, m.request.enqueued));
+    g.queue.push(std::move(m.request));
+    atomic_max(g.counters.max_queue_depth, g.queue.max_depth_seen());
+    atomic_max(shard.totals.max_queue_depth, g.queue.max_depth_seen());
+  }
+  const std::size_t popped = scratch.size();
+  scratch.clear();
+  prune_idle_groups(shard);  // bounded retention even under group churn
+  return popped;
+}
+
+Server::PendingBatch Server::next_batch(Shard& shard,
+                                        Clock::time_point now) {
   PendingBatch batch;
   const std::chrono::microseconds wait(options_.max_wait_us);
   const std::chrono::microseconds margin(options_.slo_margin_us);
+  std::lock_guard lock(shard.mutex);
+  const bool draining = stop_.load(std::memory_order_relaxed);
   // Among ready groups, serve the one whose front request is oldest —
   // sustained row-budget traffic on one group must not starve another
   // group's deadline-expired requests.
   const GroupKey* pick_key = nullptr;
-  Group* pick = nullptr;
-  for (auto& [key, group] : groups_) {
+  const std::shared_ptr<Group>* pick = nullptr;
+  for (auto& [key, group] : shard.groups) {
     BatchQueue& queue = group->queue;
     if (queue.empty()) continue;
-    if (!stop_ && !queue.ready(now, group_row_budget(*group), wait,
-                               options_.slo_aware, margin)) {
+    if (!draining && !queue.ready(now, group_row_budget(*group), wait,
+                                  options_.slo_aware, margin)) {
       continue;
     }
-    if (pick == nullptr || queue.oldest() < pick->queue.oldest()) {
+    if (pick == nullptr || queue.oldest() < (*pick)->queue.oldest()) {
       pick_key = &key;
-      pick = group.get();
+      pick = &group;
     }
   }
   if (pick == nullptr) return batch;
 
-  const index_t budget = group_row_budget(*pick);
+  Group& g = **pick;
+  const index_t budget = group_row_budget(g);
   // Attribute the flush before popping mutates the queue. During drain a
   // not-otherwise-ready queue flushes for shutdown; count it with the
-  // timeout flushes rather than inventing a counter for a one-off state.
+  // timeout flushes.
   FlushReason reason = FlushReason::kShutdown;
-  if (pick->queue.ready(now, budget, wait, options_.slo_aware, margin)) {
-    reason = pick->queue.flush_reason(now, budget, wait);
+  if (g.queue.ready(now, budget, wait, options_.slo_aware, margin)) {
+    reason = g.queue.flush_reason(now, budget, wait);
   }
-  batch.group = pick;
-  batch.weights = pick->weights;
-  batch.ffn_plan = pick->ffn_plan;
+  batch.group = *pick;
   batch.options = pick_key->options;
-  batch.telemetry = pick->telemetry;
   batch.popped = now;
-  batch.requests = pick->queue.take_batch(budget);
+  batch.requests = g.queue.take_batch(budget);
   for (const BatchRequest& r : batch.requests) batch.rows += r.a.rows();
-  ++pick->pins;  // pin against submit-side pruning until accounted
-  ++pick->stats.batches;
-  switch (reason) {
-    case FlushReason::kFull: ++pick->stats.full_flushes; break;
-    case FlushReason::kSlo: ++pick->stats.slo_flushes; break;
-    case FlushReason::kTimeout:
-    case FlushReason::kShutdown: ++pick->stats.timeout_flushes; break;
-  }
+  g.counters.batches.fetch_add(1, std::memory_order_relaxed);
+  g.counters.count_flush(reason);
+  shard.totals.batches.fetch_add(1, std::memory_order_relaxed);
+  shard.totals.count_flush(reason);
   return batch;
 }
 
-void Server::prune_idle_groups_locked(const Group* keep) {
-  if (groups_.size() <= options_.max_groups) return;
-  for (auto it = groups_.begin();
-       it != groups_.end() && groups_.size() > options_.max_groups;) {
-    if (it->second.get() != keep && it->second->queue.empty() &&
-        it->second->pins == 0) {
-      accumulate(retired_, it->second->stats);
-      if (it->second->telemetry != nullptr) {
-        retired_latency_.merge(it->second->telemetry->snapshot());
-      }
-      ++retired_groups_;
-      it = groups_.erase(it);
+void Server::prune_idle_groups(Shard& shard, const Group* keep) {
+  if (shard.groups.size() <= options_.max_groups) return;
+  for (auto it = shard.groups.begin();
+       it != shard.groups.end() &&
+       shard.groups.size() > options_.max_groups;) {
+    // Idle = empty queue. A group whose batch is mid-flight on the
+    // dispatcher may be evicted safely: the PendingBatch holds shared
+    // ownership of the Group (and its weights / plan / telemetry), and
+    // shard totals already carry every counter. An evicted group that
+    // comes back starts fresh.
+    if (it->second.get() != keep && it->second->queue.empty()) {
+      it = shard.groups.erase(it);
     } else {
       ++it;
     }
   }
 }
 
-void Server::prune_staging_locked(StagingMap& staging) {
+void Server::prune_staging(Shard& shard, StagingMap& staging) {
   // Staging buffers are keyed per batch target; release those no live
   // group references any more.
   std::unordered_set<const void*> alive;
-  for (const auto& [key, group] : groups_) alive.insert(key.target);
+  for (const auto& [key, group] : shard.groups) alive.insert(key.target);
   for (auto it = staging.begin(); it != staging.end();) {
     it = alive.count(it->first) != 0 ? std::next(it) : staging.erase(it);
   }
 }
 
-Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
-  const bool ffn = batch.ffn_plan != nullptr;
-  serve::Telemetry* telemetry = batch.telemetry.get();
-  // Resolve one request and record its queue/gather/execute/total stages.
-  const auto resolve = [&](BatchRequest& r, Clock::time_point exec_start,
-                           const Status& status) {
-    // Record before resolving the future: a caller that joins on its
-    // future and then reads stats() must see its own sample.
-    const auto resolved = Clock::now();
-    if (r.has_deadline() && resolved > r.deadline) {
-      ++batch.violations;
-      if (telemetry != nullptr) {
-        telemetry->count_violation(serve::classify_rows(r.a.rows()));
-      }
-    }
-    if (telemetry != nullptr) {
-      const auto cls = serve::classify_rows(r.a.rows());
-      telemetry->record(cls, serve::Stage::kQueue,
-                        elapsed_us(r.enqueued, batch.popped));
-      telemetry->record(cls, serve::Stage::kGather,
-                        elapsed_us(batch.popped, exec_start));
-      telemetry->record(cls, serve::Stage::kExecute,
-                        elapsed_us(exec_start, resolved));
-      telemetry->record(cls, serve::Stage::kTotal,
-                        elapsed_us(r.submitted, resolved));
-    }
-    r.done.set_value(status);
-  };
+void Server::record_stage(Shard& shard, serve::Telemetry* group_telemetry,
+                          serve::RequestClass cls, serve::Stage stage,
+                          std::uint64_t us) const {
+  if (group_telemetry != nullptr) group_telemetry->record(cls, stage, us);
+  if (shard.telemetry != nullptr) shard.telemetry->record(cls, stage, us);
+}
+
+void Server::resolve_request(Shard& shard, PendingBatch& batch,
+                             BatchRequest& r, Clock::time_point exec_start,
+                             Clock::time_point exec_end,
+                             const Status& status) {
+  Group& g = *batch.group;
+  // Record before resolving the future: a caller that joins on its
+  // future and then reads stats() must see its own sample.
+  const auto resolved = Clock::now();
+  const auto cls = serve::classify_rows(r.a.rows());
+  if (r.has_deadline() && resolved > r.deadline) {
+    g.counters.slo_violations.fetch_add(1, std::memory_order_relaxed);
+    shard.totals.slo_violations.fetch_add(1, std::memory_order_relaxed);
+    if (g.telemetry != nullptr) g.telemetry->count_violation(cls);
+    if (shard.telemetry != nullptr) shard.telemetry->count_violation(cls);
+  }
+  if (!status.ok()) {
+    g.counters.errors.fetch_add(1, std::memory_order_relaxed);
+    shard.totals.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  record_stage(shard, g.telemetry.get(), cls, serve::Stage::kQueue,
+               elapsed_us(r.enqueued, batch.popped));
+  record_stage(shard, g.telemetry.get(), cls, serve::Stage::kGather,
+               elapsed_us(batch.popped, exec_start));
+  record_stage(shard, g.telemetry.get(), cls, serve::Stage::kExecute,
+               elapsed_us(exec_start, exec_end));
+  record_stage(shard, g.telemetry.get(), cls, serve::Stage::kTotal,
+               elapsed_us(r.submitted, resolved));
+  // Drop inflight before fulfilling the promise: a caller that joins
+  // and immediately submits a single row must observe the idle shard
+  // (bypass eligibility), not a stale in-flight count.
+  shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
+  r.done.set_value(status);
+}
+
+Status Server::serve_batch(Shard& shard, PendingBatch& batch,
+                           StagingMap& staging) {
+  Group& g = *batch.group;
+  const bool ffn = g.ffn_plan != nullptr;
 
   // A lone request needs no gather/scatter: hand its views straight to
   // the execution path (same plan caches, zero copies).
   if (batch.requests.size() == 1) {
     BatchRequest& r = batch.requests.front();
     const auto exec_start = Clock::now();
-    const Status status =
-        ffn ? batch.ffn_plan->run(r.a, r.c)
-            : engine_.spmm(r.a, batch.weights, r.c, batch.options);
-    resolve(r, exec_start, status);
+    const Status status = ffn
+                              ? g.ffn_plan->run(r.a, r.c)
+                              : engine_.spmm(r.a, g.weights, r.c,
+                                             batch.options);
+    resolve_request(shard, batch, r, exec_start, Clock::now(), status);
     return status;
   }
 
-  const index_t k =
-      ffn ? batch.ffn_plan->hidden_in() : batch.weights->orig_rows;
-  const index_t n =
-      ffn ? batch.ffn_plan->hidden_out() : batch.weights->cols;
-  const void* target = ffn ? static_cast<const void*>(batch.ffn_plan.get())
-                           : static_cast<const void*>(batch.weights.get());
+  // Execute policy: one big partitioned SpMM (coalesce) vs. several
+  // concurrent serial ones (split). Splitting needs a real pool and a
+  // plain-SpMM group (a ModelPlan binds its own pool and cannot run as
+  // a serial lane).
+  ThreadPool* pool = engine_.pool();
+  bool split = false;
+  if (!ffn && pool != nullptr && pool->size() > 1) {
+    switch (options_.execute_policy) {
+      case ExecutePolicy::kCoalesce:
+        break;
+      case ExecutePolicy::kSplit:
+        split = true;
+        break;
+      case ExecutePolicy::kAuto:
+        // Prefill-heavy batches split: each request is big enough to
+        // keep a core busy on its own, and skipping the gather/scatter
+        // of large row blocks beats amortizing one weight read. Decode
+        // bursts coalesce — the shared weight read is the whole win.
+        split = batch.rows >= options_.split_min_avg_rows *
+                                  static_cast<index_t>(
+                                      batch.requests.size());
+        break;
+    }
+  }
+  if (split) return serve_batch_split(shard, batch);
+
+  const index_t k = ffn ? g.ffn_plan->hidden_in() : g.weights->orig_rows;
+  const index_t n = ffn ? g.ffn_plan->hidden_out() : g.weights->cols;
+  const void* target = ffn ? static_cast<const void*>(g.ffn_plan.get())
+                           : static_cast<const void*>(g.weights.get());
   const index_t capacity = std::max(batch.rows, options_.max_batch_rows);
   // Bound dispatcher memory before it grows: a trip here unwinds into
   // the dispatcher's exception guard, failing this batch with INTERNAL
@@ -442,8 +604,12 @@ Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
                   << " staging bytes, over max_staging_bytes="
                   << options_.max_staging_bytes);
   Staging& st = staging[target];
-  if (st.a.rows() < batch.rows || st.a.cols() != k) st.a = MatrixF(capacity, k);
-  if (st.c.rows() < batch.rows || st.c.cols() != n) st.c = MatrixF(capacity, n);
+  if (st.a.rows() < batch.rows || st.a.cols() != k) {
+    st.a = MatrixF(capacity, k);
+  }
+  if (st.c.rows() < batch.rows || st.c.cols() != n) {
+    st.c = MatrixF(capacity, n);
+  }
 
   index_t row = 0;
   for (const BatchRequest& r : batch.requests) {
@@ -454,9 +620,10 @@ Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
   const ConstViewF a_view = st.a.view().block(0, 0, batch.rows, k);
   const ViewF c_view = st.c.view().block(0, 0, batch.rows, n);
   const auto exec_start = Clock::now();
-  const Status status =
-      ffn ? batch.ffn_plan->run(a_view, c_view)
-          : engine_.spmm(a_view, batch.weights, c_view, batch.options);
+  const Status status = ffn ? g.ffn_plan->run(a_view, c_view)
+                            : engine_.spmm(a_view, g.weights, c_view,
+                                           batch.options);
+  const auto exec_end = Clock::now();
   if (status.ok()) {
     row = 0;
     for (const BatchRequest& r : batch.requests) {
@@ -465,49 +632,99 @@ Status Server::serve_batch(PendingBatch& batch, StagingMap& staging) {
       }
     }
   }
-  for (BatchRequest& r : batch.requests) resolve(r, exec_start, status);
+  for (BatchRequest& r : batch.requests) {
+    resolve_request(shard, batch, r, exec_start, exec_end, status);
+  }
   return status;
 }
 
-void Server::fail_batch(PendingBatch& batch, const Status& status) {
+Status Server::serve_batch_split(Shard& shard, PendingBatch& batch) {
+  Group& g = *batch.group;
+  const std::size_t n = batch.requests.size();
+  std::vector<Status> statuses(n);
+  std::vector<Clock::time_point> starts(n);
+  std::vector<Clock::time_point> ends(n);
+  // Each lane runs a strictly serial plan (Engine honors the explicit
+  // num_threads == 1) straight on the caller's views: zero gather or
+  // scatter, and no nested pool waits — the concurrency comes from
+  // run_chunks spreading the lanes over the workers.
+  SpmmOptions lane_options = batch.options;
+  lane_options.num_threads = 1;
+  engine_.pool()->run_chunks(
+      static_cast<std::int64_t>(n), [&](std::int64_t i) {
+        BatchRequest& r = batch.requests[static_cast<std::size_t>(i)];
+        starts[i] = Clock::now();
+        statuses[i] = engine_.spmm(r.a, g.weights, r.c, lane_options);
+        ends[i] = Clock::now();
+      });
+  g.counters.split_batches.fetch_add(1, std::memory_order_relaxed);
+  shard.totals.split_batches.fetch_add(1, std::memory_order_relaxed);
+  Status worst;
+  for (std::size_t i = 0; i < n; ++i) {
+    resolve_request(shard, batch, batch.requests[i], starts[i], ends[i],
+                    statuses[i]);
+    if (worst.ok() && !statuses[i].ok()) worst = statuses[i];
+  }
+  return worst;
+}
+
+void Server::fail_batch(Shard& shard, PendingBatch& batch,
+                        const Status& status) {
+  Group& g = *batch.group;
   for (BatchRequest& r : batch.requests) {
     // A request may already have been resolved before the failure
-    // surfaced; second set_value throws future_error — skip those.
+    // surfaced; second set_value throws future_error — skip those
+    // (their counters and inflight are already settled).
     try {
       r.done.set_value(status);
     } catch (const std::future_error&) {
+      continue;
     }
+    g.counters.errors.fetch_add(1, std::memory_order_relaxed);
+    shard.totals.errors.fetch_add(1, std::memory_order_relaxed);
+    shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 
-void Server::dispatcher_loop() {
-  // Staging buffers live on the dispatcher's stack: only this thread
-  // gathers/scatters, so they need no locking and are reused batch after
-  // batch (no per-batch allocation once warm).
+void Server::dispatcher_loop(Shard& shard) {
+  // Staging buffers live on this dispatcher's stack: only this thread
+  // gathers/scatters for its shard, so they need no locking and are
+  // reused batch after batch (no per-batch allocation once warm).
   StagingMap staging;
-  std::unique_lock lock(mutex_);
+  std::vector<SubmitMsg> scratch;
+  // Eventcount position: messages this dispatcher has popped. Compared
+  // against shard.pushed to decide whether sleeping is safe.
+  std::uint64_t drained = 0;
   for (;;) {
-    PendingBatch batch = next_batch_locked(BatchQueue::Clock::now());
+    drain_ring(shard, drained, scratch);
+    PendingBatch batch = next_batch(shard, Clock::now());
     if (batch.group != nullptr) {
       // Drain fast-fail: once shutdown() is in flight, a request whose
       // deadline already expired can never be served within its SLO —
       // fail it immediately with DEADLINE_EXCEEDED instead of spending
       // the drain's remaining time computing an answer nobody is
       // waiting for (and instead of hanging its future).
-      if (stop_) {
-        const auto now = BatchQueue::Clock::now();
+      if (stop_.load(std::memory_order_relaxed)) {
+        Group& g = *batch.group;
+        const auto now = Clock::now();
         std::vector<BatchRequest> live;
         live.reserve(batch.requests.size());
         for (BatchRequest& r : batch.requests) {
           if (r.has_deadline() && now > r.deadline) {
-            batch.group->stats.errors += 1;
-            batch.group->stats.slo_violations += 1;
-            if (batch.telemetry != nullptr) {
-              const auto cls = serve::classify_rows(r.a.rows());
-              batch.telemetry->count_violation(cls);
-              batch.telemetry->record(cls, serve::Stage::kTotal,
-                                      elapsed_us(r.submitted, now));
+            const auto cls = serve::classify_rows(r.a.rows());
+            g.counters.errors.fetch_add(1, std::memory_order_relaxed);
+            g.counters.slo_violations.fetch_add(1,
+                                                std::memory_order_relaxed);
+            shard.totals.errors.fetch_add(1, std::memory_order_relaxed);
+            shard.totals.slo_violations.fetch_add(
+                1, std::memory_order_relaxed);
+            if (g.telemetry != nullptr) g.telemetry->count_violation(cls);
+            if (shard.telemetry != nullptr) {
+              shard.telemetry->count_violation(cls);
             }
+            record_stage(shard, g.telemetry.get(), cls,
+                         serve::Stage::kTotal, elapsed_us(r.submitted, now));
+            shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
             r.done.set_value(Status::DeadlineExceeded(
                 "deadline expired before the drain reached the request"));
           } else {
@@ -519,38 +736,53 @@ void Server::dispatcher_loop() {
         for (const BatchRequest& r : batch.requests) {
           batch.rows += r.a.rows();
         }
-        if (batch.requests.empty()) {
-          --batch.group->pins;
-          continue;
-        }
+        if (batch.requests.empty()) continue;
       }
-      lock.unlock();
       // Exception guard (ROADMAP): a failure assembling or running the
       // batch — staging growth hitting max_staging_bytes or bad_alloc, a
       // kernel invariant trip — fails this batch's futures with INTERNAL
       // instead of std::terminate-ing the process on a bare thread.
-      Status status;
       try {
-        status = serve_batch(batch, staging);
+        // Per-request error accounting happens inside resolve_request;
+        // the returned worst status is only of interest to tests.
+        static_cast<void>(serve_batch(shard, batch, staging));
       } catch (const std::exception& e) {
-        status = Status::Internal(e.what());
-        fail_batch(batch, status);
+        fail_batch(shard, batch, Status::Internal(e.what()));
       }
-      lock.lock();
-      --batch.group->pins;
-      if (!status.ok()) {
-        batch.group->stats.errors +=
-            static_cast<std::uint64_t>(batch.requests.size());
+      {
+        std::lock_guard lock(shard.mutex);
+        prune_idle_groups(shard);
+        prune_staging(shard, staging);
       }
-      batch.group->stats.slo_violations += batch.violations;
-      // Keep retained state bounded now that the batch is accounted.
-      prune_idle_groups_locked();
-      prune_staging_locked(staging);
       continue;  // more groups may be ready; drain before sleeping
     }
+
+    // Nothing ready. Shutdown drain exit: with stop_ set and no
+    // submitter inside the publish protocol, no new message can ever
+    // arrive (see enqueue()); once the ring and every queue are empty
+    // the shard is fully drained.
+    if (stop_.load(std::memory_order_seq_cst) &&
+        shard.entrants.load(std::memory_order_seq_cst) == 0) {
+      drain_ring(shard, drained, scratch);
+      if (shard.ring.empty()) {
+        std::lock_guard lock(shard.mutex);
+        bool pending = false;
+        for (const auto& [key, group] : shard.groups) {
+          if (!group->queue.empty()) {
+            pending = true;
+            break;
+          }
+        }
+        if (!pending) return;
+      }
+      continue;
+    }
+
+    // Sleep until new work (eventcount), a queue deadline, or shutdown.
+    auto earliest = Clock::time_point::max();
     bool any_pending = false;
-    auto earliest = BatchQueue::Clock::time_point::max();
-    for (const auto& [key, group] : groups_) {
+    std::unique_lock lock(shard.mutex);
+    for (const auto& [key, group] : shard.groups) {
       if (group->queue.empty()) continue;
       any_pending = true;
       earliest = std::min(
@@ -563,43 +795,52 @@ void Server::dispatcher_loop() {
                           options_.slo_margin_us)));
       }
     }
-    if (stop_ && !any_pending) return;  // drained: shut down
-    if (any_pending) {
-      work_cv_.wait_until(lock, earliest);
-    } else {
-      work_cv_.wait(lock);
+    shard.sleeping.store(true, std::memory_order_seq_cst);
+    const auto pred = [&shard, &drained, this] {
+      return shard.pushed.load(std::memory_order_seq_cst) != drained ||
+             stop_.load(std::memory_order_seq_cst);
+    };
+    if (!pred()) {
+      if (any_pending) {
+        shard.cv.wait_until(lock, earliest, pred);
+      } else {
+        shard.cv.wait(lock, pred);
+      }
     }
+    shard.sleeping.store(false, std::memory_order_relaxed);
   }
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard lock(mutex_);
   Stats stats;
-  stats.totals = retired_;
-  stats.groups = groups_.size() + retired_groups_;
-  stats.latency = retired_latency_;
-  for (const auto& [key, group] : groups_) {
-    accumulate(stats.totals, group->stats);
-    if (group->telemetry != nullptr) {
-      stats.latency.merge(group->telemetry->snapshot());
+  stats.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    accumulate(stats.totals, shard->totals.snapshot());
+    stats.groups += shard->groups_seen.load(std::memory_order_relaxed);
+    stats.ring_stalls +=
+        shard->ring_stalls.load(std::memory_order_relaxed);
+    if (shard->telemetry != nullptr) {
+      stats.latency.merge(shard->telemetry->snapshot());
     }
   }
   return stats;
 }
 
 Server::GroupStats Server::target_stats(const void* target) const {
-  std::lock_guard lock(mutex_);
+  Shard& shard = shard_of(target);
+  std::lock_guard lock(shard.mutex);
   GroupStats stats;
-  for (const auto& [key, group] : groups_) {
-    if (key.target == target) accumulate(stats, group->stats);
+  for (const auto& [key, group] : shard.groups) {
+    if (key.target == target) accumulate(stats, group->counters.snapshot());
   }
   return stats;
 }
 
 serve::TelemetrySnapshot Server::target_latency(const void* target) const {
-  std::lock_guard lock(mutex_);
+  Shard& shard = shard_of(target);
+  std::lock_guard lock(shard.mutex);
   serve::TelemetrySnapshot snap;
-  for (const auto& [key, group] : groups_) {
+  for (const auto& [key, group] : shard.groups) {
     if (key.target == target && group->telemetry != nullptr) {
       snap.merge(group->telemetry->snapshot());
     }

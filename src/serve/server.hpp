@@ -1,4 +1,5 @@
-// nmspmm::Server — asynchronous request front end with dynamic batching.
+// nmspmm::Server — asynchronous request front end with dynamic batching,
+// sharded for multi-core submission and execution.
 //
 // Real inference traffic arrives as a stream of small, unaligned requests
 // (decode steps are often a single activation row), not pre-formed
@@ -12,25 +13,48 @@
 //   auto f2 = server.submit(a2.view(), weights, c2.view());
 //   f1.get().check_ok();                          // both served by ONE SpMM
 //
-// submit() enqueues the request and returns immediately; a dedicated
-// dispatcher thread groups pending requests by (weights, options),
-// flushes a group when its pending rows reach max_batch_rows or its
-// oldest request has waited max_wait_us, runs one Engine::spmm over the
-// gathered rows, and scatters the result rows back into each caller's C
-// view before fulfilling the futures. Callers must keep their A and C
-// memory alive until the future resolves.
+// Architecture (sharded since the lock-free-submit refactor):
+//
+//   submit threads                dispatcher shards              engine
+//   ──────────────                ─────────────────              ──────
+//   submit()  ──┐   lock-free   ┌────────────────────┐
+//   submit()  ──┼─► MPSC ring ─►│ shard 0: group map, │──┐
+//   submit()  ──┘               │ staging, SLO flush  │  │  one pooled
+//                               └────────────────────┘  ├─► SpMM, or N
+//   submit()  ──┐               ┌────────────────────┐  │  concurrent
+//   submit()  ──┼─► MPSC ring ─►│ shard 1:   …        │──┘  serial SpMMs
+//   submit()  ──┘               └────────────────────┘     (run_chunks)
+//
+// Each shard owns a bounded lock-free MPSC ring (serve/mpsc_ring.hpp),
+// a dispatcher thread, and its own group map / staging / flush state.
+// Groups hash to shards by weights identity, so every request against
+// one weight matrix (or model plan) lands on the same shard and keeps
+// coalescing exactly as in the single-dispatcher design. The hot submit
+// path is lock-free: validate, claim a ring slot (one CAS), publish,
+// return — a mutex is taken only to wake a sleeping dispatcher (idle by
+// definition, so never contended) and on the single-row bypass.
+//
+// The dispatcher drains its ring into per-group FIFO queues, flushes a
+// group when its pending rows reach max_batch_rows, its oldest request
+// has waited max_wait_us, or an SLO deadline approaches, and executes
+// the batch under an execute policy (ExecutePolicy): either gather the
+// requests into one pooled SpMM (decode bursts — amortizes the weight
+// read), or run them as several concurrent strictly-serial SpMMs over
+// the shared ThreadPool (prefill-heavy batches — zero gather/scatter
+// copies, each request computes straight into its caller's views).
 //
 // Whole FFN blocks batch the same way: submit_ffn() coalesces concurrent
 // token rows against one model::ModelPlan, so a burst of decode steps
 // pays one pass over all three projection weight matrices instead of one
-// per request (src/model/ffn.hpp).
+// per request (src/model/ffn.hpp). FFN batches always coalesce (a
+// ModelPlan binds its own pool; serial split lanes cannot ride it).
 //
 // Two latency escapes keep the common cases fast and the process alive:
-//  - Single-row bypass: when a 1-row submit() arrives and its group's
-//    queue is empty, nothing could coalesce with it anyway — it is
-//    served synchronously on the submitting thread (same engine plan
-//    cache, zero dispatch round-trip) and counted in stats().bypassed,
-//    outside batch accounting.
+//  - Single-row bypass: when a 1-row submit() arrives and its shard is
+//    idle (no request in flight), nothing could coalesce with it anyway
+//    — it is served synchronously on the submitting thread (same engine
+//    plan cache, zero dispatch round-trip) and counted in
+//    stats().bypassed, outside batch accounting.
 //  - The dispatcher wraps every batch execution in an exception guard:
 //    a failure while assembling or running a batch (allocation failure
 //    growing staging, a kernel invariant trip) fails that batch's
@@ -40,12 +64,13 @@
 // Shape errors are rejected per request (an immediately-ready error
 // future) so one malformed submission can never poison a batch. Shutdown
 // drains: every request accepted before shutdown() is served, then the
-// dispatcher exits; submissions after shutdown fail with
+// dispatchers exit; submissions after shutdown fail with
 // FAILED_PRECONDITION. Prefer raw Engine::spmm when requests are already
 // large batches — batching adds a gather/scatter copy and up to
 // max_wait_us of latency that only pay off on small concurrent requests.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -59,9 +84,25 @@
 #include "core/engine.hpp"
 #include "model/ffn.hpp"
 #include "serve/batch_queue.hpp"
+#include "serve/mpsc_ring.hpp"
 #include "serve/telemetry.hpp"
 
 namespace nmspmm {
+
+/// How a dispatcher turns one flushed batch into engine work.
+enum class ExecutePolicy : std::uint8_t {
+  /// Split when the batch is prefill-heavy (average rows per request >=
+  /// ServerOptions::split_min_avg_rows), else coalesce. Decode bursts
+  /// coalesce (the batched weight read is the whole win); large-row
+  /// requests split (partitioning inside one request already saturates
+  /// the pool, and splitting skips the gather/scatter copies).
+  kAuto,
+  /// Always gather into one pooled SpMM (the pre-refactor behavior).
+  kCoalesce,
+  /// Always run the batch's requests as concurrent serial SpMMs on the
+  /// shared pool (plain-SpMM groups only; FFN batches still coalesce).
+  kSplit,
+};
 
 struct ServerOptions {
   /// Flush a group as soon as its pending rows reach this many. Also the
@@ -72,18 +113,18 @@ struct ServerOptions {
   /// 0 = flush continuously (batches only what accumulates while the
   /// dispatcher is busy executing).
   std::uint32_t max_wait_us = 200;
-  /// Upper bound on retained per-group state. When more distinct
-  /// (weights, options) groups than this have been seen, idle groups
-  /// (empty queues) are evicted: their counters fold into the server
-  /// totals, and their weights reference and staging buffers are
-  /// released — a server cycling through many weight matrices stays
-  /// bounded. An evicted group that comes back simply starts fresh.
+  /// Upper bound on retained per-shard group state. When a shard holds
+  /// more distinct (weights, options) groups than this, idle groups
+  /// (empty queues) are evicted: their weights reference and staging
+  /// buffers are released — a server cycling through many weight
+  /// matrices stays bounded. Counters and latency history survive in
+  /// the shard totals; an evicted group that comes back starts fresh.
   std::size_t max_groups = 64;
   /// Serve 1-row requests synchronously on the submitting thread when
-  /// their group's queue is empty (nothing to coalesce with): skips the
+  /// their shard is idle (nothing in flight to coalesce with): skips the
   /// dispatch round-trip and batch accounting entirely.
   bool bypass_single_rows = true;
-  /// Cap on the dispatcher's gather/scatter staging for one batch, in
+  /// Cap on a dispatcher's gather/scatter staging for one batch, in
   /// bytes (0 = unbounded). A batch needing more fails with INTERNAL
   /// via the dispatcher's exception guard instead of letting staging
   /// growth take the process down.
@@ -106,6 +147,25 @@ struct ServerOptions {
   /// against a telemetry-free baseline, not because it is expected to
   /// matter.
   bool telemetry = true;
+  /// Dispatcher shards. 0 = auto: half the hardware threads, clamped to
+  /// [1, 4] — submission rarely needs more dispatchers than that before
+  /// the engine pool is the bottleneck. Groups hash to shards by
+  /// weights identity, so shards beyond the number of distinct weight
+  /// matrices served go unused. 1 reproduces the single-dispatcher
+  /// behavior (still with the lock-free submit ring).
+  unsigned num_shards = 0;
+  /// Per-shard submission ring capacity in requests (rounded up to a
+  /// power of two; 0 = default 1024). A full ring back-pressures
+  /// submitters: submit() spins with backoff until the dispatcher
+  /// drains a slot, counting the stall in stats().ring_stalls.
+  std::size_t ring_capacity = 1024;
+  /// Per-flush choice between one big partitioned SpMM and several
+  /// concurrent smaller ones (see ExecutePolicy).
+  ExecutePolicy execute_policy = ExecutePolicy::kAuto;
+  /// kAuto splits a plain-SpMM batch when its average rows per request
+  /// reaches this many (prefill-heavy; the gather/scatter copy starts
+  /// to cost more than the split's extra weight reads).
+  index_t split_min_avg_rows = 16;
   /// The backing engine (worker pool + plan cache) the server owns.
   EngineOptions engine;
 };
@@ -126,6 +186,10 @@ class Server {
   /// enqueuing. @p options must carry an inactive EpilogueSpec (epilogue
   /// operands cannot ride a batched submission; use submit_ffn for the
   /// fused-FFN workload).
+  ///
+  /// Lock-free: after validation the request is published onto its
+  /// shard's MPSC ring with a single CAS — no mutex is ever taken on
+  /// this path while the dispatcher is awake.
   ///
   /// @p deadline_us (0 = none) is the request's SLO budget from this call:
   /// with slo_aware batching the dispatcher flushes the group early enough
@@ -152,7 +216,7 @@ class Server {
                                  ViewF out, std::uint64_t deadline_us = 0);
 
   /// Stop accepting requests, serve everything already queued, and join
-  /// the dispatcher. Idempotent; the destructor calls it.
+  /// every shard dispatcher. Idempotent; the destructor calls it.
   void shutdown();
 
   /// Per-group (and aggregate) serving counters.
@@ -166,19 +230,31 @@ class Server {
     std::uint64_t bypassed = 0;         ///< served synchronously at submit
     std::uint64_t errors = 0;           ///< requests resolved non-OK
     std::uint64_t slo_violations = 0;   ///< deadlines missed (incl. expiry)
+    std::uint64_t split_batches = 0;    ///< batches run as concurrent
+                                        ///< serial SpMMs (ExecutePolicy)
     std::size_t max_queue_depth = 0;    ///< peak pending requests
   };
   struct Stats {
-    GroupStats totals;  ///< live groups + counters of evicted ones
+    GroupStats totals;  ///< every request ever accepted, incl. evicted
+                        ///< groups (per-shard counters, exact)
     std::size_t groups = 0;  ///< distinct (target, options) groups seen
+    std::size_t shards = 0;  ///< dispatcher shards (resolved num_shards)
+    /// Times a submit found its shard's ring full and had to back off
+    /// before claiming a slot (one per stalled request, not per retry).
+    std::uint64_t ring_stalls = 0;
     /// Per-request stage latency distributions across every group, live
     /// and evicted (empty when ServerOptions::telemetry is off).
     serve::TelemetrySnapshot latency;
   };
+  /// Aggregate counters and latency across all shards. Lock-free: reads
+  /// per-shard atomic counters and merges per-shard telemetry snapshots
+  /// (additive histograms — per-class percentiles stay exact), so stats
+  /// polling can never stall a submitter or dispatcher.
   [[nodiscard]] Stats stats() const;
   /// Aggregate over every *live* group serving @p weights (any options);
   /// counters of groups already evicted under max_groups only survive in
-  /// stats().totals.
+  /// stats().totals. Takes the owning shard's mutex briefly (never
+  /// contended by the lock-free submit path).
   [[nodiscard]] GroupStats weights_stats(const CompressedNM* weights) const;
   /// As weights_stats, for the FFN groups serving @p plan.
   [[nodiscard]] GroupStats model_stats(const model::ModelPlan* plan) const;
@@ -191,9 +267,13 @@ class Server {
       const model::ModelPlan* plan) const;
 
   [[nodiscard]] Engine& engine() { return engine_; }
+  /// Post-construction options: num_shards / ring_capacity reflect the
+  /// resolved values, not the 0 = auto the caller may have passed.
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
+  using Clock = BatchQueue::Clock;
+
   /// Requests batch together only when one execution can serve them all:
   /// plain SpMM requests must agree on weights and options; FFN requests
   /// must agree on the ModelPlan (which fixes everything else).
@@ -207,43 +287,64 @@ class Server {
   struct GroupKeyHash {
     std::size_t operator()(const GroupKey& k) const noexcept;
   };
+  /// GroupStats as relaxed atomics, so the dispatcher and bypassing
+  /// submitters update them without a lock and stats readers snapshot
+  /// them concurrently. Each event is counted twice — once on its group,
+  /// once on the shard totals — so stats() stays exact across group
+  /// eviction without any fold-on-evict bookkeeping.
+  struct GroupCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> rows{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> full_flushes{0};
+    std::atomic<std::uint64_t> timeout_flushes{0};
+    std::atomic<std::uint64_t> slo_flushes{0};
+    std::atomic<std::uint64_t> bypassed{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> slo_violations{0};
+    std::atomic<std::uint64_t> split_batches{0};
+    std::atomic<std::size_t> max_queue_depth{0};
+
+    [[nodiscard]] GroupStats snapshot() const;
+    void count_flush(FlushReason reason);
+  };
   struct Group {
     std::shared_ptr<const CompressedNM> weights;  ///< plain groups
     std::shared_ptr<model::ModelPlan> ffn_plan;   ///< FFN groups
+    /// Pending requests. Only touched under the owning shard's mutex
+    /// (dispatcher drain/flush, bypass idle checks never read it).
     BatchQueue queue;
-    GroupStats stats;
-    /// Stage-latency recorder (null when ServerOptions::telemetry is
-    /// off). shared_ptr: bypassed submissions and in-flight batches
-    /// record into it outside the server lock, so it must outlive a
-    /// concurrent eviction of the group (samples recorded after the
-    /// eviction folded its snapshot are simply dropped).
+    GroupCounters counters;
+    /// Stage-latency recorder for the per-target latency queries (null
+    /// when ServerOptions::telemetry is off). shared_ptr: bypassed
+    /// submissions and in-flight batches record into it outside the
+    /// shard lock, so it must outlive a concurrent eviction of the
+    /// group (samples recorded after eviction are dropped from the
+    /// per-target view; the shard recorder keeps them).
     std::shared_ptr<serve::Telemetry> telemetry;
-    /// In-flight batches popped from this group. A pinned group cannot
-    /// be pruned: eviction would drop its weights / plan references
-    /// (and through them the store leases) while a batch still executes
-    /// against them. Mirrors the WeightStore's per-execute pinning one
-    /// layer down; counts (not a flag) so multiple dispatchers can pin
-    /// concurrently.
-    std::uint32_t pins = 0;
   };
-  /// A popped batch, ready to execute outside the lock.
-  struct PendingBatch {
-    Group* group = nullptr;
+  /// One submission in flight between submit() and its shard's
+  /// dispatcher: everything needed to find-or-create the group and
+  /// enqueue the request. Owns its weights / plan references, so a
+  /// message outliving a group eviction is self-sufficient.
+  struct SubmitMsg {
+    GroupKey key;
     std::shared_ptr<const CompressedNM> weights;
     std::shared_ptr<model::ModelPlan> ffn_plan;
+    BatchRequest request;
+  };
+  /// A popped batch, ready to execute outside the lock. Holds shared
+  /// ownership of its group (and through it weights / plan / telemetry),
+  /// so eviction can never free state a batch still executes against.
+  struct PendingBatch {
+    std::shared_ptr<Group> group;
     SpmmOptions options;
     std::vector<BatchRequest> requests;
     index_t rows = 0;
-    /// The group's recorder (null = no telemetry). Shared so recording
-    /// outside the lock never races an eviction.
-    std::shared_ptr<serve::Telemetry> telemetry;
     /// When the batch left its queue — end of each request's kQueue stage.
-    std::chrono::steady_clock::time_point popped;
-    /// Deadline misses observed while resolving the batch; folded into
-    /// the group's slo_violations by the dispatcher once it re-locks.
-    std::uint64_t violations = 0;
+    Clock::time_point popped;
   };
-  /// Reusable gather/scatter staging, owned by the dispatcher thread and
+  /// Reusable gather/scatter staging, owned by one dispatcher thread and
   /// keyed by batch target (weights or model plan).
   struct Staging {
     MatrixF a;
@@ -251,30 +352,116 @@ class Server {
   };
   using StagingMap = std::unordered_map<const void*, Staging>;
 
-  void dispatcher_loop();
+  /// One dispatcher's world: submission ring, wake protocol, group map.
+  ///
+  /// Locking rules (the whole point of the sharded design):
+  ///  - `ring` is lock-free; submitters publish, the dispatcher pops.
+  ///  - `mutex` guards `groups` (map structure AND the BatchQueues
+  ///    inside) and `cv`. It is taken by the dispatcher (drain / flush /
+  ///    evict), by bypassing submitters (shard idle by definition), by
+  ///    per-target stats queries, and momentarily by a submitter waking
+  ///    a sleeping dispatcher — never on the lock-free submit path.
+  ///  - `totals`, group counters, and telemetry are atomics / lock-free
+  ///    recorders, updated and read without the mutex.
+  ///
+  /// Sleep/wake is an eventcount over `pushed` + `sleeping`, all
+  /// seq_cst (TSan-clean; no fences): a producer does {publish;
+  /// pushed++ (RMW); load sleeping} and the dispatcher does {store
+  /// sleeping=true; load pushed, compare against its drained count} —
+  /// seq_cst forbids both sides reading the other's old value, so
+  /// either the dispatcher sees the new push and skips sleeping, or the
+  /// producer sees sleeping==true and notifies under the mutex (which
+  /// serializes with the dispatcher's predicate-check-then-wait).
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity, bool telemetry)
+        : ring(ring_capacity),
+          telemetry(telemetry ? std::make_shared<serve::Telemetry>()
+                              : nullptr) {}
+
+    serve::MpscRing<SubmitMsg> ring;
+    /// Successful ring publishes (the eventcount ticket).
+    std::atomic<std::uint64_t> pushed{0};
+    /// Dispatcher is (about to be) parked on cv.
+    std::atomic<bool> sleeping{false};
+    /// Submitters currently inside the publish protocol; the shutdown
+    /// drain exits only once this is 0 (see dispatcher_loop).
+    std::atomic<std::uint64_t> entrants{0};
+    /// Ring-path requests not yet resolved (in ring, queued, or mid
+    /// batch). The single-row bypass fires only at 0: the shard is idle,
+    /// so nothing could coalesce and the mutex below is uncontended.
+    std::atomic<std::uint64_t> inflight{0};
+    /// Shard-wide counters: the lock-free source for stats(). See
+    /// GroupCounters for the double-count scheme.
+    GroupCounters totals;
+    std::atomic<std::uint64_t> ring_stalls{0};
+    std::atomic<std::uint64_t> groups_seen{0};
+    /// Shard-wide latency recorder backing stats().latency (null when
+    /// telemetry is off). Immutable pointer after construction, so
+    /// stats() reads it without the mutex.
+    std::shared_ptr<serve::Telemetry> telemetry;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<GroupKey, std::shared_ptr<Group>, GroupKeyHash>
+        groups;
+    std::thread dispatcher;
+  };
+
+  /// The shard every group of @p target lives on (mixed pointer hash):
+  /// all option-variants of one weight matrix share a shard, so staging
+  /// and coalescing stay per-target exactly as before sharding.
+  [[nodiscard]] Shard& shard_of(const void* target) const;
+  /// Common post-validation path of submit / submit_ffn: bypass or
+  /// publish to the shard ring (with full-ring backpressure), wake the
+  /// dispatcher, resolve @p done on rejection.
+  std::future<Status> enqueue(GroupKey key,
+                              std::shared_ptr<const CompressedNM> weights,
+                              std::shared_ptr<model::ModelPlan> plan,
+                              ConstViewF A, ViewF C,
+                              std::uint64_t deadline_us,
+                              Clock::time_point submitted,
+                              std::promise<Status> done,
+                              std::future<Status> result);
+
+  void dispatcher_loop(Shard& shard);
+  /// Pop every published ring message into its group's queue (creating
+  /// groups as needed). Returns the number of messages drained; adds
+  /// them to @p drained for the eventcount.
+  std::size_t drain_ring(Shard& shard, std::uint64_t& drained,
+                         std::vector<SubmitMsg>& scratch);
   /// The row budget one batch of @p group may assemble: max_batch_rows,
   /// additionally capped at the plan's token budget for FFN groups.
   [[nodiscard]] index_t group_row_budget(const Group& group) const;
   /// Pop the next batch that must flush (row budget, deadline, or drain),
-  /// oldest front request first when several groups are ready. Requires
-  /// mutex_ held; returns an empty batch when nothing is ready.
-  PendingBatch next_batch_locked(BatchQueue::Clock::time_point now);
-  /// Evict idle, unpinned groups beyond options_.max_groups (except
-  /// @p keep, the group the caller is still using), folding their stats
-  /// into retired_. Requires mutex_ held; safe from both the dispatcher
-  /// and submitting threads (bypassed traffic never wakes the
-  /// dispatcher, so retention is bounded here too).
-  void prune_idle_groups_locked(const Group* keep = nullptr);
-  /// Drop staging buffers for targets no live group serves. Dispatcher
-  /// only (staging is dispatcher-owned); requires mutex_ held.
-  void prune_staging_locked(StagingMap& staging);
+  /// oldest front request first when several groups are ready. Locks the
+  /// shard mutex; returns an empty batch when nothing is ready.
+  PendingBatch next_batch(Shard& shard, Clock::time_point now);
+  /// Evict idle groups beyond options_.max_groups (except @p keep, the
+  /// group the caller is still inserting into). Requires shard.mutex.
+  void prune_idle_groups(Shard& shard, const Group* keep = nullptr);
+  /// Drop staging buffers for targets no live group of @p shard serves.
+  /// Requires shard.mutex (group map read); staging itself is the
+  /// dispatcher's own.
+  void prune_staging(Shard& shard, StagingMap& staging);
   /// Assemble, execute, scatter, and resolve one batch (no lock held).
-  /// Returns the batch's Status so the dispatcher can count errors. May
-  /// throw (e.g. staging growth failure); the dispatcher's guard turns
-  /// that into an INTERNAL resolution for the batch's futures.
-  Status serve_batch(PendingBatch& batch, StagingMap& staging);
+  /// Returns the batch's worst Status. May throw (e.g. staging growth
+  /// failure); the dispatcher's guard turns that into an INTERNAL
+  /// resolution for the batch's futures.
+  Status serve_batch(Shard& shard, PendingBatch& batch, StagingMap& staging);
+  /// Execute policy: run the batch's requests as concurrent serial
+  /// SpMMs on the engine pool, each straight on its caller's views.
+  Status serve_batch_split(Shard& shard, PendingBatch& batch);
+  /// Record @p us for @p stage into both the group and shard recorders.
+  void record_stage(Shard& shard, serve::Telemetry* group_telemetry,
+                    serve::RequestClass cls, serve::Stage stage,
+                    std::uint64_t us) const;
+  /// Account one resolved request (violation / error counters, stage
+  /// telemetry, inflight) and fulfil its promise.
+  void resolve_request(Shard& shard, PendingBatch& batch, BatchRequest& r,
+                       Clock::time_point exec_start,
+                       Clock::time_point exec_end, const Status& status);
   /// Resolve every not-yet-resolved future of @p batch with @p status.
-  static void fail_batch(PendingBatch& batch, const Status& status);
+  void fail_batch(Shard& shard, PendingBatch& batch, const Status& status);
   /// Aggregate the live groups whose key target is @p target.
   [[nodiscard]] GroupStats target_stats(const void* target) const;
   /// Merge the latency snapshots of the live groups serving @p target.
@@ -283,17 +470,8 @@ class Server {
 
   ServerOptions options_;
   Engine engine_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::unordered_map<GroupKey, std::unique_ptr<Group>, GroupKeyHash> groups_;
-  GroupStats retired_;  ///< folded counters of groups evicted by max_groups
-  std::size_t retired_groups_ = 0;
-  /// Latency samples of evicted groups, folded at eviction so
-  /// stats().latency never loses history to max_groups pressure.
-  serve::TelemetrySnapshot retired_latency_;
-  bool stop_ = false;
-  std::thread dispatcher_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace nmspmm

@@ -321,6 +321,7 @@ StatusOr<TrafficReport> run_open_loop(
   report.latency.subtract(before.latency);
   report.slo_violations =
       after.totals.slo_violations - before.totals.slo_violations;
+  report.ring_stalls = after.ring_stalls - before.ring_stalls;
   return report;
 }
 

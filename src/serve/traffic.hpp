@@ -106,6 +106,10 @@ struct TrafficReport {
   TelemetrySnapshot latency;
   /// Server violation-counter delta over the run.
   std::uint64_t slo_violations = 0;
+  /// Server-side submission-ring stall delta over the run: times a
+  /// submit found its shard's MPSC ring full and had to back off
+  /// (distinct from `stalls`, the harness running out of slot buffers).
+  std::uint64_t ring_stalls = 0;
 };
 
 /// Drive @p server open-loop per @p options, splitting arrivals across
