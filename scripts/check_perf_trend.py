@@ -174,6 +174,39 @@ def main(argv=None):
                       f"serving_open bursty {cls} p99: {was} -> {now} us "
                       f"({delta:+.1%})")
 
+    # Overload response: decode p99 at ~1.5x capacity under the shedding
+    # admission policies. kBlock is skipped by design — its p99 inherits
+    # the whole backlog and is unbounded at any overload factor, so it
+    # would only gate on noise. Same load-move caveat as the other
+    # offered-load sections (the overload rate is capacity-relative and
+    # drifts with the machine).
+    bov = base.get("serving_open", {}).get("overload", {})
+    fov = fresh.get("serving_open", {}).get("overload", {})
+    if bov.get("offered_rps") and fov.get("offered_rps"):
+        was_rps, now_rps = bov["offered_rps"], fov["offered_rps"]
+        if abs(now_rps - was_rps) > 0.25 * was_rps:
+            print(f"WARN: serving_open overload load moved {was_rps:.0f} -> "
+                  f"{now_rps:.0f} rps (>25%); overload p99 gate skipped — "
+                  "regenerate and commit the baseline artifact.")
+        else:
+            base_policies = {p.get("policy"): p
+                             for p in bov.get("policies", [])}
+            for p in fov.get("policies", []):
+                name = p.get("policy")
+                if name == "block":
+                    continue
+                was = base_policies.get(name, {}).get("decode_p99_us")
+                now = p.get("decode_p99_us")
+                if not was or now is None:
+                    if name is not None:
+                        print(f"WARN: overload policy {name} has no "
+                              "baseline; skipping")
+                    continue
+                delta = (now - was) / was  # lower is better for us: negate
+                judge(-delta,
+                      f"serving_open overload {name} decode p99: "
+                      f"{was} -> {now} us ({delta:+.1%})")
+
     # Contended-submit scaling: achieved rps per submitter-thread count.
     # A point regressing means the lock-free submit path (or a shard
     # dispatcher behind it) started serializing; each point gates like a

@@ -23,7 +23,9 @@ import check_perf_trend  # noqa: E402
 def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
              fused_ms=2.0, offered_rps=1000.0, decode_p99_us=2000,
              prefill_p99_us=20000, bursty_offered_rps=1000.0,
-             bursty_decode_p99_us=4000, submit_4t_rps=20000.0):
+             bursty_decode_p99_us=4000, submit_4t_rps=20000.0,
+             overload_offered_rps=1500.0, overload_shed_p99_us=3000,
+             overload_block_p99_us=8000):
     return {
         "bench": "bench_resident",
         "schema_version": 2,
@@ -48,6 +50,16 @@ def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
                 {"threads": 1, "rps": 10000.0},
                 {"threads": 4, "rps": submit_4t_rps},
             ]},
+            "overload": {"offered_rps": overload_offered_rps,
+                         "shed_pending_rows": 256,
+                         "policies": [
+                             {"policy": "block",
+                              "decode_p99_us": overload_block_p99_us},
+                             {"policy": "shed",
+                              "decode_p99_us": overload_shed_p99_us},
+                             {"policy": "shed_by_class",
+                              "decode_p99_us": overload_shed_p99_us},
+                         ]},
         },
     }
 
@@ -206,6 +218,38 @@ class CheckPerfTrendTest(unittest.TestCase):
         self.write(self.baseline, artifact())
         self.write(self.fresh, artifact(bursty_offered_rps=2000.0,
                                         bursty_decode_p99_us=20000))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_overload_shed_p99_regression_fails_on_same_cpu(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(overload_shed_p99_us=4500))  # +50%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_overload_block_p99_never_gates(self):
+        # kBlock p99 inherits the whole backlog and is unbounded by
+        # design at any overload factor — it must never gate.
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(overload_block_p99_us=999999))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_overload_warns_only_across_cpus(self):
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh, artifact(overload_shed_p99_us=4500))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_overload_skips_when_offered_load_moved(self):
+        # The overload rate is capacity-relative, so it drifts with the
+        # machine: a >25% move must skip the gate, not fail it.
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(overload_offered_rps=3000.0,
+                                        overload_shed_p99_us=99999))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_baseline_without_overload_section_is_skipped(self):
+        base = artifact()
+        del base["serving_open"]["overload"]
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(overload_shed_p99_us=99999))
         self.assertEqual(self.run_gate(), 0)
 
     def test_submit_scaling_regression_fails_on_same_cpu(self):

@@ -131,6 +131,8 @@ StatusOr<std::shared_ptr<const SpmmPlan>> Engine::plan_for(
         options.num_threads == 1 ? nullptr : pool_, store_));
   } catch (const CheckError& e) {
     return Status::InvalidArgument(e.what());
+  } catch (const std::bad_alloc& e) {
+    return Status::ResourceExhausted(e.what());
   } catch (const std::exception& e) {
     return Status::Internal(e.what());
   }
@@ -211,6 +213,8 @@ Status Engine::spmm(ConstViewF A, const CompressedNM& B, ViewF C,
     return spmm(A, wrap_weights(B), C, std::move(options));
   } catch (const CheckError& e) {
     return Status::InvalidArgument(e.what());
+  } catch (const std::bad_alloc& e) {
+    return Status::ResourceExhausted(e.what());
   } catch (const std::exception& e) {
     return Status::Internal(e.what());
   }

@@ -163,8 +163,13 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C,
     try {
       pinned = lease_->pin();
     } catch (const CheckError& e) {
-      // Repack needed but the source weights died.
+      // Repack needed but the source weights died. Not retryable: the
+      // source is gone for good, so this stays FAILED_PRECONDITION.
       return Status::FailedPrecondition(e.what());
+    } catch (const std::bad_alloc& e) {
+      // Repack-on-demand could not allocate the packed form — retryable
+      // once the memory pressure passes.
+      return Status::ResourceExhausted(e.what());
     }
     packed = pinned.get();
   }
@@ -198,9 +203,13 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C,
         for (index_t c = 0; c < C.cols(); ++c) row[c] *= scale;
       }
     }
+  } catch (const std::bad_alloc& e) {
+    // Worker-side allocation failure (e.g. surfaced by run_chunks) —
+    // retryable, unlike a genuine invariant trip.
+    return Status::ResourceExhausted(e.what());
   } catch (const std::exception& e) {
-    // Kernel invariant violations and worker-side failures (e.g.
-    // bad_alloc surfaced by run_chunks) — recoverable for the server.
+    // Kernel invariant violations and other worker-side failures —
+    // recoverable for the server.
     return Status::Internal(e.what());
   }
   return Status::Ok();

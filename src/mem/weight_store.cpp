@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "serve/fault.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,6 +67,12 @@ const std::shared_ptr<WeightStore>& WeightStore::global() {
 std::shared_ptr<const PackedWeights> WeightStore::build_payload(
     const CompressedNM& B, const WeightLease& lease,
     ThreadPool* pool) const {
+  // Chaos hook: a repack-on-demand allocation failure surfaces to the
+  // executing plan as bad_alloc → RESOURCE_EXHAUSTED, exactly like a
+  // real allocation failure inside PackedWeights::build.
+  if (NMSPMM_FAULT_FIRE(kRepackAlloc)) {
+    throw ResourceExhaustedError("injected repack allocation failure");
+  }
   PackedWeights::Placement placement;
   placement.pool = pool;
   placement.numa_first_touch = options_.numa_first_touch;

@@ -254,6 +254,8 @@ StatusOr<std::shared_ptr<model::ModelPlan>> Engine::plan_model(
       plan->hidden_buf_[0] = MatrixF(max_tokens, max_hidden);
       plan->hidden_buf_[1] = MatrixF(max_tokens, max_hidden);
     }
+  } catch (const std::bad_alloc& e) {
+    return Status::ResourceExhausted(e.what());
   } catch (const std::exception& e) {
     return Status::Internal(e.what());
   }

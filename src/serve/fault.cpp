@@ -1,0 +1,53 @@
+#include "serve/fault.hpp"
+
+#ifdef NMSPMM_FAULT_INJECT
+
+namespace nmspmm::serve {
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed, and stateless — the
+// decision for probe n of a site is a pure function of (seed, site, n).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  plan_ = plan;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    probes_[i].store(0, std::memory_order_relaxed);
+    fired_[i].store(0, std::memory_order_relaxed);
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  const int i = static_cast<int>(site);
+  const std::uint16_t rate = plan_.rate[i];
+  const std::uint64_t n = probes_[i].fetch_add(1, std::memory_order_relaxed);
+  if (rate == 0) return false;
+  const std::uint64_t h =
+      mix(plan_.seed ^ mix(static_cast<std::uint64_t>(i + 1) * 0x100000001ULL +
+                           n));
+  const bool fire = (h & 0xFF) < rate;
+  if (fire) fired_[i].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace nmspmm::serve
+
+#endif  // NMSPMM_FAULT_INJECT

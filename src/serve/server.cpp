@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "serve/fault.hpp"
 #include "util/hash.hpp"
 
 namespace nmspmm {
@@ -258,7 +259,7 @@ std::future<Status> Server::enqueue(GroupKey key,
                                     std::future<Status> result) {
   Shard& shard = shard_of(key.target);
   if (stop_.load(std::memory_order_seq_cst)) {
-    done.set_value(Status::FailedPrecondition("server is shut down"));
+    done.set_value(Status::Unavailable("server is shut down"));
     return result;
   }
   const auto cls = serve::classify_rows(A.rows());
@@ -322,6 +323,39 @@ std::future<Status> Server::enqueue(GroupKey key,
     return result;
   }
 
+  // Admission control. A request is sheddable when the policy says so
+  // for its class; a sheddable request is refused with RESOURCE_EXHAUSTED
+  // instead of ever blocking (ring full, or admitting it would push the
+  // shard's pending work past a high-water mark). kShedByClass protects
+  // the 1-row decode stream: decode follows the kBlock path.
+  const auto rows = static_cast<std::uint64_t>(A.rows());
+  const std::size_t bytes = staging_bytes(A.rows(), A.cols(), C.cols());
+  const bool sheddable =
+      options_.admission == AdmissionPolicy::kShed ||
+      (options_.admission == AdmissionPolicy::kShedByClass && A.rows() > 1);
+  auto count_shed = [&] {
+    shard.shed_requests.fetch_add(1, std::memory_order_relaxed);
+    shard.shed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  };
+  if (sheddable) {
+    const bool over_rows =
+        options_.shed_pending_rows != 0 &&
+        shard.pending_rows.load(std::memory_order_relaxed) + rows >
+            options_.shed_pending_rows;
+    const bool over_bytes =
+        options_.shed_pending_bytes != 0 &&
+        shard.pending_bytes.load(std::memory_order_relaxed) + bytes >
+            options_.shed_pending_bytes;
+    if (over_rows || over_bytes) {
+      count_shed();
+      done.set_value(Status::ResourceExhausted(
+          over_rows ? "request shed: shard pending rows over high-water mark"
+                    : "request shed: shard pending bytes over high-water "
+                      "mark"));
+      return result;
+    }
+  }
+
   // Lock-free publish path. The entrants counter brackets the whole
   // protocol so the shutdown drain can prove no submitter is about to
   // publish: a submitter either increments entrants before the
@@ -332,33 +366,63 @@ std::future<Status> Server::enqueue(GroupKey key,
   shard.entrants.fetch_add(1, std::memory_order_seq_cst);
   if (stop_.load(std::memory_order_seq_cst)) {
     shard.entrants.fetch_sub(1, std::memory_order_seq_cst);
-    done.set_value(Status::FailedPrecondition("server is shut down"));
+    done.set_value(Status::Unavailable("server is shut down"));
     return result;
   }
-  // inflight must rise before the publish so the bypass's idle test
-  // cannot miss a request that is already on its way to the ring.
+  // inflight (and the admission pending gauges) must rise before the
+  // publish so the bypass's idle test cannot miss a request that is
+  // already on its way to the ring.
   shard.inflight.fetch_add(1, std::memory_order_seq_cst);
+  shard.pending_rows.fetch_add(rows, std::memory_order_relaxed);
+  shard.pending_bytes.fetch_add(bytes, std::memory_order_relaxed);
   SubmitMsg msg;
   msg.key = std::move(key);
   msg.weights = std::move(weights);
   msg.ffn_plan = std::move(plan);
   msg.request = BatchRequest{A, C, std::move(done), submitted, Clock::now(),
                              deadline_from(submitted, deadline_us)};
+  // Undo the publish-protocol counters on any abort below (the request
+  // never reaches the ring, so nothing downstream will release them).
+  auto release = [&] {
+    shard.pending_rows.fetch_sub(rows, std::memory_order_relaxed);
+    shard.pending_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
+    shard.entrants.fetch_sub(1, std::memory_order_seq_cst);
+  };
   bool stalled = false;
   unsigned spins = 0;
-  while (!shard.ring.try_push(msg)) {
+  for (;;) {
+    const bool forced_full = NMSPMM_FAULT_FIRE(kRingFull);
+    if (!forced_full && shard.ring.try_push(msg)) break;
     // Ring full ⇒ the dispatcher is awake and draining (it only sleeps
-    // with an empty ring); back off until it frees a slot. Counted once
-    // per stalled request, not per retry.
+    // with an empty ring). A sheddable request fails fast; a blocking
+    // one backs off until a slot frees, its own deadline expires, or
+    // shutdown lands.
+    if (sheddable) {
+      release();
+      count_shed();
+      msg.request.done.set_value(
+          Status::ResourceExhausted("request shed: submission ring full"));
+      return result;
+    }
+    // Counted once per stalled request, not per retry.
     if (!stalled) {
       stalled = true;
       shard.ring_stalls.fetch_add(1, std::memory_order_relaxed);
     }
     if (stop_.load(std::memory_order_seq_cst)) {
-      shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
-      shard.entrants.fetch_sub(1, std::memory_order_seq_cst);
-      msg.request.done.set_value(Status::FailedPrecondition(
-          "server shut down while awaiting ring space"));
+      release();
+      msg.request.done.set_value(
+          Status::Unavailable("server shut down while awaiting ring space"));
+      return result;
+    }
+    if (msg.request.has_deadline() && Clock::now() > msg.request.deadline) {
+      // The submitter's own SLO ran out while stalled: spinning past it
+      // only adds more load at the worst possible moment.
+      release();
+      shard.submit_deadline_fails.fetch_add(1, std::memory_order_relaxed);
+      msg.request.done.set_value(Status::DeadlineExceeded(
+          "deadline expired while stalled on a full submission ring"));
       return result;
     }
     if (++spins < 64) {
@@ -372,8 +436,10 @@ std::future<Status> Server::enqueue(GroupKey key,
   // pushed} — one side always sees the other (no lost wakeup).
   shard.pushed.fetch_add(1, std::memory_order_seq_cst);
   if (shard.sleeping.load(std::memory_order_seq_cst)) {
-    { std::lock_guard lock(shard.mutex); }
-    shard.cv.notify_all();
+    if (!NMSPMM_FAULT_FIRE(kDropWake)) {
+      { std::lock_guard lock(shard.mutex); }
+      shard.cv.notify_all();
+    }
   }
   shard.entrants.fetch_sub(1, std::memory_order_seq_cst);
   return result;
@@ -540,6 +606,11 @@ void Server::resolve_request(Shard& shard, PendingBatch& batch,
   // Drop inflight before fulfilling the promise: a caller that joins
   // and immediately submits a single row must observe the idle shard
   // (bypass eligibility), not a stale in-flight count.
+  shard.pending_rows.fetch_sub(static_cast<std::uint64_t>(r.a.rows()),
+                               std::memory_order_relaxed);
+  shard.pending_bytes.fetch_sub(staging_bytes(r.a.rows(), r.a.cols(),
+                                              r.c.cols()),
+                                std::memory_order_relaxed);
   shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
   r.done.set_value(status);
 }
@@ -548,6 +619,8 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
                            StagingMap& staging) {
   Group& g = *batch.group;
   const bool ffn = g.ffn_plan != nullptr;
+  // Chaos hook: per-shard artificial execute latency (no-op by default).
+  NMSPMM_FAULT_EXECUTE_DELAY();
 
   // A lone request needs no gather/scatter: hand its views straight to
   // the execution path (same plan caches, zero copies).
@@ -594,15 +667,21 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
                            : static_cast<const void*>(g.weights.get());
   const index_t capacity = std::max(batch.rows, options_.max_batch_rows);
   // Bound dispatcher memory before it grows: a trip here unwinds into
-  // the dispatcher's exception guard, failing this batch with INTERNAL
-  // while the server keeps serving.
-  NMSPMM_CHECK_MSG(
-      options_.max_staging_bytes == 0 ||
-          staging_bytes(capacity, k, n) <= options_.max_staging_bytes,
-      "batch of " << batch.rows << " rows needs "
-                  << staging_bytes(capacity, k, n)
-                  << " staging bytes, over max_staging_bytes="
-                  << options_.max_staging_bytes);
+  // the dispatcher's exception guard, failing this batch with
+  // RESOURCE_EXHAUSTED while the server keeps serving. Real bad_alloc
+  // from the MatrixF growth below takes the same guard path.
+  if (options_.max_staging_bytes != 0 &&
+      staging_bytes(capacity, k, n) > options_.max_staging_bytes) {
+    std::ostringstream os;
+    os << "batch of " << batch.rows << " rows needs "
+       << staging_bytes(capacity, k, n)
+       << " staging bytes, over max_staging_bytes="
+       << options_.max_staging_bytes;
+    throw ResourceExhaustedError(os.str());
+  }
+  if (NMSPMM_FAULT_FIRE(kStagingAlloc)) {
+    throw ResourceExhaustedError("injected staging allocation failure");
+  }
   Staging& st = staging[target];
   if (st.a.rows() < batch.rows || st.a.cols() != k) {
     st.a = MatrixF(capacity, k);
@@ -682,6 +761,11 @@ void Server::fail_batch(Shard& shard, PendingBatch& batch,
     }
     g.counters.errors.fetch_add(1, std::memory_order_relaxed);
     shard.totals.errors.fetch_add(1, std::memory_order_relaxed);
+    shard.pending_rows.fetch_sub(static_cast<std::uint64_t>(r.a.rows()),
+                                 std::memory_order_relaxed);
+    shard.pending_bytes.fetch_sub(staging_bytes(r.a.rows(), r.a.cols(),
+                                                r.c.cols()),
+                                  std::memory_order_relaxed);
     shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
@@ -724,6 +808,12 @@ void Server::dispatcher_loop(Shard& shard) {
             }
             record_stage(shard, g.telemetry.get(), cls,
                          serve::Stage::kTotal, elapsed_us(r.submitted, now));
+            shard.pending_rows.fetch_sub(
+                static_cast<std::uint64_t>(r.a.rows()),
+                std::memory_order_relaxed);
+            shard.pending_bytes.fetch_sub(
+                staging_bytes(r.a.rows(), r.a.cols(), r.c.cols()),
+                std::memory_order_relaxed);
             shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
             r.done.set_value(Status::DeadlineExceeded(
                 "deadline expired before the drain reached the request"));
@@ -739,13 +829,17 @@ void Server::dispatcher_loop(Shard& shard) {
         if (batch.requests.empty()) continue;
       }
       // Exception guard (ROADMAP): a failure assembling or running the
-      // batch — staging growth hitting max_staging_bytes or bad_alloc, a
-      // kernel invariant trip — fails this batch's futures with INTERNAL
-      // instead of std::terminate-ing the process on a bare thread.
+      // batch fails this batch's futures instead of std::terminate-ing
+      // the process on a bare thread. Allocation / budget exhaustion
+      // (staging growth, max_staging_bytes, repack-on-demand) surfaces
+      // as RESOURCE_EXHAUSTED — retryable; anything else is a genuine
+      // invariant trip and stays INTERNAL.
       try {
         // Per-request error accounting happens inside resolve_request;
         // the returned worst status is only of interest to tests.
         static_cast<void>(serve_batch(shard, batch, staging));
+      } catch (const std::bad_alloc& e) {
+        fail_batch(shard, batch, Status::ResourceExhausted(e.what()));
       } catch (const std::exception& e) {
         fail_batch(shard, batch, Status::Internal(e.what()));
       }
@@ -819,6 +913,11 @@ Server::Stats Server::stats() const {
     stats.groups += shard->groups_seen.load(std::memory_order_relaxed);
     stats.ring_stalls +=
         shard->ring_stalls.load(std::memory_order_relaxed);
+    stats.shed_requests +=
+        shard->shed_requests.load(std::memory_order_relaxed);
+    stats.shed_bytes += shard->shed_bytes.load(std::memory_order_relaxed);
+    stats.submit_deadline_fails +=
+        shard->submit_deadline_fails.load(std::memory_order_relaxed);
     if (shard->telemetry != nullptr) {
       stats.latency.merge(shard->telemetry->snapshot());
     }

@@ -56,18 +56,34 @@
 //    plan cache, zero dispatch round-trip) and counted in
 //    stats().bypassed, outside batch accounting.
 //  - The dispatcher wraps every batch execution in an exception guard:
-//    a failure while assembling or running a batch (allocation failure
-//    growing staging, a kernel invariant trip) fails that batch's
-//    futures with an INTERNAL Status instead of std::terminate-ing the
-//    process, and the dispatcher keeps serving subsequent batches.
+//    a failure while assembling or running a batch fails that batch's
+//    futures with a typed Status — RESOURCE_EXHAUSTED for allocation /
+//    budget exhaustion (staging growth, max_staging_bytes, repack), or
+//    INTERNAL for a genuine invariant trip — instead of
+//    std::terminate-ing the process, and keeps serving later batches.
+//
+// Overload behavior is a policy (ServerOptions::admission):
+//  - kBlock (default): a full shard ring back-pressures submit() with a
+//    bounded spin — bounded by the request's own deadline_us, so a
+//    submitter never stalls past its SLO (DEADLINE_EXCEEDED instead).
+//  - kShed: fail fast with RESOURCE_EXHAUSTED when the ring is full or
+//    the shard's pending work exceeds the shed_pending_rows /
+//    shed_pending_bytes high-water marks. Shed requests never entered
+//    the queue; the caller may retry (serve::RetryPolicy).
+//  - kShedByClass: shed prefill (multi-row) like kShed, but let 1-row
+//    decode requests ride the kBlock path — under overload the server
+//    keeps the latency-critical decode stream alive and sheds the
+//    bandwidth-hungry prefill work first.
 //
 // Shape errors are rejected per request (an immediately-ready error
 // future) so one malformed submission can never poison a batch. Shutdown
 // drains: every request accepted before shutdown() is served, then the
-// dispatchers exit; submissions after shutdown fail with
-// FAILED_PRECONDITION. Prefer raw Engine::spmm when requests are already
-// large batches — batching adds a gather/scatter copy and up to
-// max_wait_us of latency that only pay off on small concurrent requests.
+// dispatchers exit; submissions after shutdown fail with UNAVAILABLE
+// (retryable — e.g. against a replacement server; before the overload
+// work this surfaced as FAILED_PRECONDITION). Prefer raw Engine::spmm
+// when requests are already large batches — batching adds a
+// gather/scatter copy and up to max_wait_us of latency that only pay
+// off on small concurrent requests.
 #pragma once
 
 #include <atomic>
@@ -104,6 +120,15 @@ enum class ExecutePolicy : std::uint8_t {
   kSplit,
 };
 
+/// What submit() does when a shard cannot take the request right now
+/// (ring full, or pending work past a high-water mark). See the header
+/// comment's "Overload behavior".
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,        ///< spin (bounded by the request's deadline_us)
+  kShed,         ///< fail fast with RESOURCE_EXHAUSTED
+  kShedByClass,  ///< shed multi-row prefill, block 1-row decode
+};
+
 struct ServerOptions {
   /// Flush a group as soon as its pending rows reach this many. Also the
   /// granularity of batch assembly: larger values amortize weight reads
@@ -125,10 +150,21 @@ struct ServerOptions {
   /// dispatch round-trip and batch accounting entirely.
   bool bypass_single_rows = true;
   /// Cap on a dispatcher's gather/scatter staging for one batch, in
-  /// bytes (0 = unbounded). A batch needing more fails with INTERNAL
-  /// via the dispatcher's exception guard instead of letting staging
-  /// growth take the process down.
+  /// bytes (0 = unbounded). A batch needing more fails with
+  /// RESOURCE_EXHAUSTED (the affected batch only; the dispatcher keeps
+  /// serving) instead of letting staging growth take the process down.
   std::size_t max_staging_bytes = 0;
+  /// Overload behavior of submit() — see AdmissionPolicy.
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Shedding high-water marks, per shard (0 = that mark is off; both
+  /// ignored under kBlock). A sheddable request is refused with
+  /// RESOURCE_EXHAUSTED when admitting it would push the shard's
+  /// pending (admitted, unresolved) rows / staged bytes past the mark.
+  /// Bytes are the request's gather+scatter staging footprint,
+  /// rows*(k+n)*sizeof(float) — the same quantity max_staging_bytes
+  /// caps per batch, here bounded across everything in flight.
+  std::size_t shed_pending_rows = 0;
+  std::size_t shed_pending_bytes = 0;
   /// Flush a group early when a pending request's SLO deadline (the
   /// deadline_us argument of submit / submit_ffn) is within slo_margin_us
   /// of now, instead of waiting out max_wait_us. Off, deadlines are still
@@ -242,6 +278,14 @@ class Server {
     /// Times a submit found its shard's ring full and had to back off
     /// before claiming a slot (one per stalled request, not per retry).
     std::uint64_t ring_stalls = 0;
+    /// Requests refused with RESOURCE_EXHAUSTED by the admission policy
+    /// (ring full or high-water mark), and their staging-footprint
+    /// bytes. Shed requests never reach totals.requests.
+    std::uint64_t shed_requests = 0;
+    std::uint64_t shed_bytes = 0;
+    /// kBlock submitters whose deadline expired while stalled on a full
+    /// ring (failed DEADLINE_EXCEEDED without entering the queue).
+    std::uint64_t submit_deadline_fails = 0;
     /// Per-request stage latency distributions across every group, live
     /// and evicted (empty when ServerOptions::telemetry is off).
     serve::TelemetrySnapshot latency;
@@ -395,6 +439,16 @@ class Server {
     GroupCounters totals;
     std::atomic<std::uint64_t> ring_stalls{0};
     std::atomic<std::uint64_t> groups_seen{0};
+    /// Admission accounting. pending_rows / pending_bytes track the
+    /// admitted-but-unresolved ring-path work the high-water marks bound
+    /// (incremented at publish, decremented at resolution — bypassed
+    /// requests never enter). shed_* / submit_deadline_fails mirror the
+    /// Stats fields of the same names.
+    std::atomic<std::uint64_t> pending_rows{0};
+    std::atomic<std::uint64_t> pending_bytes{0};
+    std::atomic<std::uint64_t> shed_requests{0};
+    std::atomic<std::uint64_t> shed_bytes{0};
+    std::atomic<std::uint64_t> submit_deadline_fails{0};
     /// Shard-wide latency recorder backing stats().latency (null when
     /// telemetry is off). Immutable pointer after construction, so
     /// stats() reads it without the mutex.

@@ -1,6 +1,7 @@
 #include "serve/traffic.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <sstream>
@@ -80,20 +81,80 @@ class ArrivalSampler {
 
 /// One pre-allocated in-flight request buffer. The Server requires A and
 /// C alive until the future resolves, so open-loop submission without
-/// per-request allocation needs a bounded ring of these.
+/// per-request allocation needs a bounded ring of these. The request's
+/// identity (class, target, rows, deadline, attempt count, first-submit
+/// time) rides along so a retryable failure can be re-sent verbatim.
 struct Slot {
   MatrixF a;
   MatrixF c;
   std::future<Status> fut;
   int cls = -1;
+  int target = -1;
+  index_t rows = 0;
+  std::uint64_t deadline_us = 0;
+  int attempts = 0;
+  Clock::time_point first_submit;
 };
 
 struct ThreadTally {
   std::uint64_t submitted = 0;
   std::uint64_t stalls = 0;
-  std::vector<std::uint64_t> ok;      // per class
-  std::vector<std::uint64_t> errors;  // per class
+  std::uint64_t retries = 0;
+  std::uint64_t retry_ok = 0;
+  std::uint64_t retry_denied = 0;
+  std::vector<std::uint64_t> ok;        // per class
+  std::vector<std::uint64_t> errors;    // per class
+  std::vector<std::uint64_t> shed;      // per class, final RESOURCE_EXHAUSTED
+  std::vector<std::uint64_t> deadline;  // per class, final DEADLINE_EXCEEDED
 };
+
+/// Shared token-bucket retry budget in milli-tokens: retries spend 1000,
+/// successes earn budget_per_success * 1000 up to the cap. Lock-free CAS
+/// loops — source threads touch it once per settle.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryPolicy& policy)
+      : cap_millis_(static_cast<std::int64_t>(policy.budget_cap * 1000.0)),
+        credit_millis_(
+            static_cast<std::int64_t>(policy.budget_per_success * 1000.0)),
+        tokens_(cap_millis_) {}
+
+  bool try_spend() {
+    std::int64_t cur = tokens_.load(std::memory_order_relaxed);
+    while (cur >= 1000) {
+      if (tokens_.compare_exchange_weak(cur, cur - 1000,
+                                        std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void credit() {
+    if (credit_millis_ == 0) return;
+    std::int64_t cur = tokens_.load(std::memory_order_relaxed);
+    while (cur < cap_millis_ &&
+           !tokens_.compare_exchange_weak(
+               cur, std::min(cap_millis_, cur + credit_millis_),
+               std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  const std::int64_t cap_millis_;
+  const std::int64_t credit_millis_;
+  std::atomic<std::int64_t> tokens_;
+};
+
+/// Exponential backoff with seeded jitter for retry attempt @p attempts
+/// (count already made, so the first retry gets the initial backoff).
+std::uint64_t backoff_us(const RetryPolicy& policy, int attempts, Rng& rng) {
+  double us = static_cast<double>(policy.initial_backoff_us);
+  for (int i = 1; i < attempts; ++i) us *= policy.backoff_multiplier;
+  us *= 1.0 - policy.jitter / 2.0 + policy.jitter * rng.next_double();
+  us = std::min(us, static_cast<double>(policy.max_backoff_us));
+  return static_cast<std::uint64_t>(std::max(us, 0.0));
+}
 
 Status validate(const std::vector<TrafficTarget>& targets,
                 const TrafficOptions& options,
@@ -151,6 +212,22 @@ Status validate(const std::vector<TrafficTarget>& targets,
   }
   if (!(class_weight > 0.0)) {
     return Status::InvalidArgument("class weights sum to zero");
+  }
+  const RetryPolicy& retry = options.retry;
+  if (retry.max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (retry.enabled()) {
+    if (!(retry.backoff_multiplier >= 1.0)) {
+      return Status::InvalidArgument(
+          "retry.backoff_multiplier must be >= 1");
+    }
+    if (retry.jitter < 0.0 || retry.jitter > 1.0) {
+      return Status::InvalidArgument("retry.jitter must be in [0, 1]");
+    }
+    if (retry.budget_per_success < 0.0 || retry.budget_cap < 0.0) {
+      return Status::InvalidArgument("retry budget terms must be >= 0");
+    }
   }
   if (options.arrivals == ArrivalProcess::kBursty) {
     const double f = options.burst_time_fraction;
@@ -214,7 +291,10 @@ StatusOr<TrafficReport> run_open_loop(
   for (ThreadTally& t : tallies) {
     t.ok.assign(classes.size(), 0);
     t.errors.assign(classes.size(), 0);
+    t.shed.assign(classes.size(), 0);
+    t.deadline.assign(classes.size(), 0);
   }
+  RetryBudget budget(options.retry);
 
   const auto origin = Clock::now();
   std::vector<std::thread> threads;
@@ -236,10 +316,71 @@ StatusOr<TrafficReport> run_open_loop(
           }
         }
       }
+      // Resubmission of a slot's request, verbatim, with the remaining
+      // deadline budget (0 keeps "no deadline").
+      auto resubmit = [&](Slot& s, std::uint64_t remaining_us) {
+        const TrafficTarget& target = targets[s.target];
+        const index_t k = target.plan != nullptr
+                              ? target.plan->hidden_in()
+                              : target.weights->orig_rows;
+        const index_t n = target.plan != nullptr
+                              ? target.plan->hidden_out()
+                              : target.weights->cols;
+        const ConstViewF a = s.a.view().block(0, 0, s.rows, k);
+        const ViewF c = s.c.view().block(0, 0, s.rows, n);
+        s.fut = target.plan != nullptr
+                    ? server.submit_ffn(a, target.plan, c, remaining_us)
+                    : server.submit(a, target.weights, c, {}, remaining_us);
+      };
       auto settle = [&](Slot& s) {
         if (!s.fut.valid()) return;
-        const Status status = s.fut.get();
-        (status.ok() ? tally.ok : tally.errors)[s.cls] += 1;
+        Status status = s.fut.get();
+        // Retry chain: re-send retryable failures until success, a
+        // terminal failure, or one of the three retry bounds bites.
+        while (!status.ok() && is_retryable(status.code()) &&
+               options.retry.enabled()) {
+          if (s.attempts >= options.retry.max_attempts) {
+            ++tally.retry_denied;
+            break;
+          }
+          const std::uint64_t wait =
+              backoff_us(options.retry, s.attempts, rng);
+          std::uint64_t remaining_us = 0;
+          if (s.deadline_us != 0) {
+            const auto elapsed = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - s.first_submit)
+                    .count());
+            if (elapsed + wait >= s.deadline_us) {
+              // Never retry past the request's own deadline: the
+              // resubmission would only burn server time to fail.
+              ++tally.retry_denied;
+              break;
+            }
+            remaining_us = s.deadline_us - elapsed - wait;
+          }
+          if (!budget.try_spend()) {
+            ++tally.retry_denied;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(wait));
+          ++tally.retries;
+          ++s.attempts;
+          resubmit(s, remaining_us);
+          status = s.fut.get();
+          if (status.ok()) ++tally.retry_ok;
+        }
+        if (status.ok()) {
+          ++tally.ok[s.cls];
+          budget.credit();
+        } else {
+          ++tally.errors[s.cls];
+          if (status.code() == StatusCode::kResourceExhausted) {
+            ++tally.shed[s.cls];
+          } else if (status.code() == StatusCode::kDeadlineExceeded) {
+            ++tally.deadline[s.cls];
+          }
+        }
         s.cls = -1;
       };
 
@@ -277,6 +418,11 @@ StatusOr<TrafficReport> run_open_loop(
         const ConstViewF a = slot.a.view().block(0, 0, rows, k);
         const ViewF c = slot.c.view().block(0, 0, rows, n);
         slot.cls = static_cast<int>(ci);
+        slot.target = static_cast<int>(ti);
+        slot.rows = rows;
+        slot.deadline_us = cls.deadline_us;
+        slot.attempts = 1;
+        slot.first_submit = Clock::now();
         slot.fut = target.plan != nullptr
                        ? server.submit_ffn(a, target.plan, c,
                                            cls.deadline_us)
@@ -303,15 +449,22 @@ StatusOr<TrafficReport> run_open_loop(
     for (const ThreadTally& t : tallies) {
       cr.ok += t.ok[ci];
       cr.errors += t.errors[ci];
+      cr.shed += t.shed[ci];
+      cr.deadline_failed += t.deadline[ci];
     }
     cr.submitted = cr.ok + cr.errors;
     report.ok += cr.ok;
     report.errors += cr.errors;
+    report.shed += cr.shed;
+    report.deadline_failed += cr.deadline_failed;
     report.classes.push_back(std::move(cr));
   }
   for (const ThreadTally& t : tallies) {
     report.submitted += t.submitted;
     report.stalls += t.stalls;
+    report.retries += t.retries;
+    report.retry_ok += t.retry_ok;
+    report.retry_denied += t.retry_denied;
   }
   report.achieved_rps =
       wall_s > 0.0
@@ -322,6 +475,7 @@ StatusOr<TrafficReport> run_open_loop(
   report.slo_violations =
       after.totals.slo_violations - before.totals.slo_violations;
   report.ring_stalls = after.ring_stalls - before.ring_stalls;
+  report.server_shed = after.shed_requests - before.shed_requests;
   return report;
 }
 

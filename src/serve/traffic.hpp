@@ -63,6 +63,36 @@ enum class ArrivalProcess {
   kBursty,   ///< MMPP-2: calm/burst rates, exponential state sojourns
 };
 
+/// Client-side retry for retryable Status codes (RESOURCE_EXHAUSTED,
+/// UNAVAILABLE — see is_retryable in util/check.hpp). Off by default
+/// (max_attempts = 1). Retries run synchronously on the source thread
+/// (delaying its later arrivals — the cost of a retry storm is visible
+/// in the schedule, as in a real client) and are governed by three
+/// independent bounds, whichever bites first:
+///  - max_attempts: total attempts per request, including the first;
+///  - the request's deadline_us: a retry whose backoff would land past
+///    the deadline (measured from the FIRST submission) is never sent,
+///    and a resubmission carries only the remaining budget;
+///  - a token-bucket retry budget shared by all source threads: each
+///    success earns budget_per_success tokens (capped at budget_cap),
+///    each retry spends one — so when most requests are failing, the
+///    bucket drains and retries stop amplifying the overload.
+/// Backoff is exponential (initial_backoff_us, backoff_multiplier,
+/// capped at max_backoff_us) with seeded jitter from the source
+/// thread's xoshiro stream: schedules stay replayable, and concurrent
+/// retriers de-synchronize instead of re-colliding.
+struct RetryPolicy {
+  int max_attempts = 1;
+  std::uint64_t initial_backoff_us = 200;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_us = 10000;
+  double jitter = 0.5;  ///< backoff scaled by uniform [1-j/2, 1+j/2)
+  double budget_per_success = 0.1;
+  double budget_cap = 64.0;
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+};
+
 struct TrafficOptions {
   double offered_rps = 1000.0;  ///< aggregate arrival rate, requests/s
   double duration_s = 1.0;      ///< submission window (drain excluded)
@@ -78,6 +108,8 @@ struct TrafficOptions {
   std::uint64_t seed = 42;     ///< replays the exact schedule
   /// In-flight request buffers per thread; all busy = the thread stalls.
   int slots_per_thread = 64;
+  /// Client-side retry of retryable failures (off by default).
+  RetryPolicy retry;
   std::vector<TrafficClass> classes;  ///< default: 1-row, no deadline
 };
 
@@ -86,6 +118,10 @@ struct ClassReport {
   std::uint64_t submitted = 0;
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
+  /// Of `errors`: final RESOURCE_EXHAUSTED (shed and not recovered by
+  /// retry) and final DEADLINE_EXCEEDED resolutions.
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_failed = 0;
 };
 
 struct TrafficReport {
@@ -110,6 +146,21 @@ struct TrafficReport {
   /// submit found its shard's MPSC ring full and had to back off
   /// (distinct from `stalls`, the harness running out of slot buffers).
   std::uint64_t ring_stalls = 0;
+  /// Shed-vs-stall split of the overload response. `shed` counts
+  /// requests whose FINAL status was RESOURCE_EXHAUSTED (refused by
+  /// admission control and not recovered by retry); `deadline_failed`
+  /// the final DEADLINE_EXCEEDED resolutions. `server_shed` is the
+  /// server-side stats().shed_requests delta — larger than `shed`
+  /// whenever retries turned sheds into successes.
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_failed = 0;
+  std::uint64_t server_shed = 0;
+  /// Client retry accounting (all zero when retry is off): attempts
+  /// re-sent, how many of those ended OK, and retryable failures NOT
+  /// retried (attempts exhausted, deadline too close, budget empty).
+  std::uint64_t retries = 0;
+  std::uint64_t retry_ok = 0;
+  std::uint64_t retry_denied = 0;
 };
 
 /// Drive @p server open-loop per @p options, splitting arrivals across

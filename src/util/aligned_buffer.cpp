@@ -13,7 +13,11 @@ AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment)
   if (bytes == 0) return;
   const std::size_t padded = round_up(bytes, alignment);
   data_ = std::aligned_alloc(alignment, padded);
-  if (data_ == nullptr) throw std::bad_alloc();
+  if (data_ == nullptr) {
+    throw ResourceExhaustedError("aligned_alloc of " + std::to_string(padded) +
+                                 " bytes (alignment " +
+                                 std::to_string(alignment) + ") failed");
+  }
 }
 
 AlignedBuffer::~AlignedBuffer() { std::free(data_); }

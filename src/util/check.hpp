@@ -9,6 +9,7 @@
 //    (Engine::spmm, SpmmPlan::execute) without unwinding through a server.
 #pragma once
 
+#include <new>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -22,6 +23,21 @@ namespace nmspmm {
 class CheckError : public std::logic_error {
  public:
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a memory budget or allocation is exhausted. Derives from
+/// std::bad_alloc so existing bad_alloc handlers keep working, but carries
+/// a message naming the site and size so the serving layer can surface a
+/// typed RESOURCE_EXHAUSTED instead of a blanket INTERNAL.
+class ResourceExhaustedError : public std::bad_alloc {
+ public:
+  explicit ResourceExhaustedError(std::string what) : what_(std::move(what)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return what_.c_str();
+  }
+
+ private:
+  std::string what_;
 };
 
 namespace detail {
@@ -43,6 +59,8 @@ enum class StatusCode {
   kNotFound,            ///< lookup missed (cache probes, registries)
   kInternal,            ///< invariant violation escaping a lower layer
   kDeadlineExceeded,    ///< the request's SLO deadline passed unserved
+  kResourceExhausted,   ///< a memory/queue budget ran out — retryable
+  kUnavailable,         ///< service cannot take the call now — retryable
 };
 
 inline const char* to_string(StatusCode code) {
@@ -53,8 +71,18 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "?";
+}
+
+/// True for the codes a client may retry: the failure was a transient
+/// capacity condition (shed request, exhausted budget, shutdown race),
+/// not a property of the request itself.
+inline bool is_retryable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
 }
 
 /// Value-semantic success-or-error result. Ok statuses carry no message
@@ -80,6 +108,12 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

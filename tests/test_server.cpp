@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -330,8 +331,8 @@ TEST(Server, DispatcherGuardFailsBatchWithInternalInsteadOfTerminating) {
   MatrixF c1(1, n), c2(1, n);
   auto f1 = server.submit(a1.view(), B, c1.view());
   auto f2 = server.submit(a2.view(), B, c2.view());
-  EXPECT_EQ(f1.get().code(), StatusCode::kInternal);
-  EXPECT_EQ(f2.get().code(), StatusCode::kInternal);
+  EXPECT_EQ(f1.get().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f2.get().code(), StatusCode::kResourceExhausted);
 
   // The server survived: a lone request (no staging needed) still works.
   const MatrixF a3 = random_int_matrix(2, k, rng);
@@ -401,7 +402,7 @@ TEST(Server, ShutdownDrainsInFlightRequests) {
   late.a = random_int_matrix(1, k, rng);
   late.c = MatrixF(1, n);
   auto refused = server.submit(late.a.view(), B, late.c.view());
-  EXPECT_EQ(refused.get().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(refused.get().code(), StatusCode::kUnavailable);
 }
 
 TEST(ServerSlo, NearDeadlineRequestFlushesBeforeMaxWait) {
@@ -697,8 +698,8 @@ TEST(ServerSharded, ConcurrentSubmittersSurviveShutdownRace) {
 
   // Four threads fire requests while the main thread shuts the server
   // down mid-stream. Every future must resolve — either OK (accepted
-  // before the stop and drained) or FAILED_PRECONDITION (rejected by
-  // the fail-fast path) — and every OK result must be correct.
+  // before the stop and drained) or UNAVAILABLE (rejected by the
+  // fail-fast path) — and every OK result must be correct.
   struct Slot {
     MatrixF a;
     MatrixF c;
@@ -741,7 +742,7 @@ TEST(ServerSharded, ConcurrentSubmittersSurviveShutdownRace) {
         EXPECT_EQ(max_abs_diff(s.expect.cview(), s.c.cview()), 0.0);
       } else {
         ++refused;
-        EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+        EXPECT_EQ(status.code(), StatusCode::kUnavailable);
       }
     }
   }
@@ -981,6 +982,251 @@ TEST(ServerSharded, StatsReadableLockFreeDuringConcurrentLoad) {
             static_cast<std::uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(stats.totals.errors, 0u);
   EXPECT_EQ(stats.shards, 2u);
+}
+
+// ------------------------------------------------------------- overload
+
+TEST(ServerOverload, ShedFailsFastOverHighWaterAndCountsShedBytes) {
+  Rng rng(930);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.num_shards = 1;
+  opt.admission = AdmissionPolicy::kShed;
+  opt.shed_pending_rows = 2;       // exactly one 2-row request fits
+  opt.bypass_single_rows = false;
+  opt.max_batch_rows = 64;
+  opt.max_wait_us = 60 * 1000 * 1000;  // first request parks in its queue
+  Server server(opt);
+
+  const MatrixF a1 = random_int_matrix(2, k, rng);
+  const MatrixF a2 = random_int_matrix(2, k, rng);
+  MatrixF c1(2, n), c2(2, n);
+  // First request fills the high-water mark and sits pending (the
+  // dispatcher will not flush for a minute)...
+  auto f1 = server.submit(a1.view(), B, c1.view());
+  ASSERT_EQ(f1.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout);
+  // ...so the second is refused immediately, without blocking.
+  auto f2 = server.submit(a2.view(), B, c2.view());
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f2.get().code(), StatusCode::kResourceExhausted);
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.shed_requests, 1u);
+  EXPECT_GT(stats.shed_bytes, 0u);
+  server.shutdown();  // drains the parked request
+  NMSPMM_ASSERT_OK(f1.get());
+  EXPECT_EQ(max_abs_diff(reference_for(a1.view(), *B).cview(), c1.cview()),
+            0.0);
+  // Conservation: the shed request never entered the served totals.
+  stats = server.stats();
+  EXPECT_EQ(stats.totals.requests, 1u);
+  EXPECT_EQ(stats.shed_requests, 1u);
+}
+
+TEST(ServerOverload, ShedByClassProtectsSingleRowDecode) {
+  Rng rng(931);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.num_shards = 1;
+  opt.admission = AdmissionPolicy::kShedByClass;
+  opt.shed_pending_rows = 1;  // any multi-row admission trips the mark
+  opt.bypass_single_rows = false;
+  Server server(opt);
+
+  // Prefill (multi-row) sheds under the mark; a decode row submitted at
+  // the same pressure rides the blocking path and is served.
+  const MatrixF prefill = random_int_matrix(2, k, rng);
+  MatrixF c_prefill(2, n);
+  auto shed = server.submit(prefill.view(), B, c_prefill.view());
+  EXPECT_EQ(shed.get().code(), StatusCode::kResourceExhausted);
+
+  const MatrixF decode = random_int_matrix(1, k, rng);
+  MatrixF c_decode(1, n);
+  auto served = server.submit(decode.view(), B, c_decode.view());
+  NMSPMM_ASSERT_OK(served.get());
+  EXPECT_EQ(max_abs_diff(reference_for(decode.view(), *B).cview(),
+                         c_decode.cview()),
+            0.0);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed_requests, 1u);
+  EXPECT_EQ(stats.totals.requests, 1u);
+}
+
+TEST(ServerOverload, BlockedSubmitFailsAtItsOwnDeadline) {
+  Rng rng(932);
+  const index_t k = 128, n = 128;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.num_shards = 1;
+  opt.ring_capacity = 2;  // tiny: submits routinely find it full
+  opt.bypass_single_rows = false;
+  opt.max_batch_rows = 8;
+  opt.max_wait_us = 0;  // dispatcher flushes continuously (stays busy)
+  Server server(opt);
+
+  // An already-expired deadline turns a full-ring stall into an
+  // immediate DEADLINE_EXCEEDED — the submitter never spins past its
+  // own SLO. Requests that find a free slot are still served (a missed
+  // deadline alone does not fail a request outside shutdown drain).
+  // Contending submitters keep the ring full long enough that some
+  // stalled submit is guaranteed to re-check after its 1us budget;
+  // repeat bursts until observed (virtually always the first burst).
+  const int kThreads = 3, kPerThread = 32;
+  for (int burst = 0;
+       burst < 20 && server.stats().submit_deadline_fails == 0; ++burst) {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        Rng thread_rng(933 + static_cast<std::uint64_t>(t));
+        std::vector<MatrixF> bufs;
+        bufs.reserve(kPerThread * 2);
+        std::vector<std::future<Status>> done;
+        for (int i = 0; i < kPerThread; ++i) {
+          bufs.push_back(random_int_matrix(8, k, thread_rng));
+          bufs.emplace_back(8, n);
+          done.push_back(server.submit(bufs[bufs.size() - 2].view(), B,
+                                       bufs.back().view(), {},
+                                       /*deadline_us=*/1));
+        }
+        for (auto& f : done) {
+          const Status status = f.get();
+          EXPECT_TRUE(status.ok() ||
+                      status.code() == StatusCode::kDeadlineExceeded)
+              << status.to_string();
+        }
+      });
+    }
+    for (auto& th : submitters) th.join();
+  }
+  EXPECT_GT(server.stats().submit_deadline_fails, 0u);
+}
+
+TEST(ServerOverload, OpenLoopRetryBudgetBoundsRetryStorms) {
+  Rng rng(933);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  ServerOptions opt;
+  opt.num_shards = 1;
+  opt.admission = AdmissionPolicy::kShed;
+  opt.shed_pending_rows = 1;  // 2-row requests can never be admitted
+  opt.bypass_single_rows = false;
+  Server server(opt);
+
+  serve::TrafficOptions traffic;
+  traffic.offered_rps = 3000.0;
+  traffic.duration_s = 0.1;
+  traffic.submit_threads = 2;
+  traffic.seed = 11;
+  traffic.classes.resize(1);
+  traffic.classes[0].name = "prefill";
+  traffic.classes[0].rows_min = traffic.classes[0].rows_max = 2;
+  traffic.retry.max_attempts = 2;
+  traffic.retry.initial_backoff_us = 10;
+  traffic.retry.max_backoff_us = 50;
+  traffic.retry.budget_cap = 64.0;
+  std::vector<serve::TrafficTarget> targets(1);
+  targets[0].weights = B;
+  auto report = serve::run_open_loop(server, targets, traffic);
+  NMSPMM_ASSERT_OK(report.status());
+
+  // Every attempt sheds (2 rows can never fit under a 1-row mark), so
+  // zero successes ever credit the retry budget: exactly the initial
+  // budget_cap tokens' worth of retries can be spent, no matter how
+  // many requests fail — the storm is bounded by construction.
+  ASSERT_GE(report->submitted, 65u);
+  EXPECT_EQ(report->ok, 0u);
+  EXPECT_EQ(report->shed, report->submitted);
+  EXPECT_EQ(report->retries, 64u);
+  EXPECT_EQ(report->retry_ok, 0u);
+  EXPECT_GT(report->retry_denied, 0u);
+  // Server-side sheds count every attempt, client-side only final fates.
+  EXPECT_EQ(report->server_shed, report->submitted + report->retries);
+  EXPECT_EQ(server.stats().totals.requests, 0u);
+}
+
+// The serving-surface Status taxonomy, pinned one code per documented
+// error path so codes cannot silently drift (retry logic keys on them).
+TEST(ServerOverload, StatusTaxonomyCoversEveryServingErrorPath) {
+  Rng rng(934);
+  const index_t k = 64, n = 64;
+  auto B = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+
+  struct Case {
+    const char* name;
+    StatusCode expected;
+    std::function<Status()> run;
+  };
+  const std::vector<Case> cases = {
+      {"shape mismatch", StatusCode::kInvalidArgument,
+       [&] {
+         Server server;
+         const MatrixF a = random_int_matrix(2, k, rng);
+         MatrixF c(2, n + 1);  // wrong output width
+         return server.submit(a.view(), B, c.view()).get();
+       }},
+      {"request over the FFN plan's token budget",
+       StatusCode::kFailedPrecondition,
+       [&] {
+         model::FfnBlock block;
+         block.gate = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+         block.up = shared_weights(k, n, NMConfig{2, 4, 16}, rng);
+         block.down = shared_weights(n, k, NMConfig{2, 4, 16}, rng);
+         Engine engine;
+         auto plan = engine.plan_model(/*max_tokens=*/2, {block});
+         if (!plan.ok()) return plan.status();  // wrong code → test fails
+         Server server;
+         const MatrixF a = random_int_matrix(4, k, rng);  // 4 > 2 tokens
+         MatrixF out(4, k);
+         return server.submit_ffn(a.view(), *plan, out.view()).get();
+       }},
+      {"shed under admission control", StatusCode::kResourceExhausted,
+       [&] {
+         ServerOptions opt;
+         opt.admission = AdmissionPolicy::kShed;
+         opt.shed_pending_rows = 1;
+         opt.bypass_single_rows = false;
+         Server server(opt);
+         const MatrixF a = random_int_matrix(2, k, rng);
+         MatrixF c(2, n);
+         return server.submit(a.view(), B, c.view()).get();
+       }},
+      {"deadline expired before drain", StatusCode::kDeadlineExceeded,
+       [&] {
+         ServerOptions opt;
+         opt.bypass_single_rows = false;
+         opt.max_wait_us = 60 * 1000 * 1000;  // only the drain flushes
+         opt.slo_aware = false;
+         Server server(opt);
+         const MatrixF a = random_int_matrix(2, k, rng);
+         MatrixF c(2, n);
+         auto f = server.submit(a.view(), B, c.view(), {},
+                                /*deadline_us=*/1);
+         std::this_thread::sleep_for(std::chrono::milliseconds(1));
+         server.shutdown();  // drain fast-fails the expired request
+         return f.get();
+       }},
+      {"submit after shutdown", StatusCode::kUnavailable,
+       [&] {
+         Server server;
+         server.shutdown();
+         const MatrixF a = random_int_matrix(2, k, rng);
+         MatrixF c(2, n);
+         return server.submit(a.view(), B, c.view()).get();
+       }},
+  };
+  for (const Case& c : cases) {
+    const Status status = c.run();
+    EXPECT_EQ(status.code(), c.expected)
+        << c.name << " resolved " << status.to_string();
+  }
 }
 
 TEST(ServerTelemetry, CanBeDisabled) {
