@@ -16,6 +16,7 @@
 
 #include "bench/bench_common.hpp"
 #include "model/ffn.hpp"
+#include "obs/perf_counters.hpp"
 
 using namespace nmspmm;
 using namespace nmspmm::bench;
@@ -155,6 +156,13 @@ int main(int argc, char** argv) {
   }, 1, 3, 0.2).median;
   const double ffn_per_s = static_cast<double>(requests) / stream_s;
 
+  // Hardware attribution of the three projections: a separate profiled
+  // phase AFTER the timed loops, so the per-projection counter ioctls
+  // never perturb the fused-vs-unfused comparison the gate watches.
+  plan.set_profiling(true);
+  for (int it = 0; it < 3; ++it) run_fused();
+  plan.set_profiling(false);
+
   const double speedup = unfused_s / fused_s;
   const model::ModelPlan::Stats stats = plan.stats();
   ResultTable table({"pipeline", "ms", "speedup"});
@@ -177,6 +185,13 @@ int main(int argc, char** argv) {
             << ResultTable::fmt(
                    static_cast<double>(stats.scratch_bytes) / 1e6, 1)
             << ")\n";
+  if (stats.perf.supported) {
+    std::cout << "projection IPC (profiled, " << stats.perf.runs
+              << " runs): gate " << ResultTable::fmt(stats.perf.gate.ipc(), 2)
+              << ", up " << ResultTable::fmt(stats.perf.up.ipc(), 2)
+              << ", down " << ResultTable::fmt(stats.perf.down.ipc(), 2)
+              << "\n";
+  }
 
   std::ostringstream model_json;
   model_json << "{\"hidden\": " << hidden << ", \"ffn\": " << ffn
@@ -189,7 +204,22 @@ int main(int argc, char** argv) {
              << ResultTable::fmt(ffn_per_s, 2)
              << ", \"weight_bytes\": " << stats.weight_bytes
              << ", \"packed_bytes\": " << stats.packed_bytes
-             << ", \"scratch_bytes\": " << stats.scratch_bytes << "}";
+             << ", \"scratch_bytes\": " << stats.scratch_bytes
+             << ", \"perf\": {\"supported\": "
+             << (stats.perf.supported ? "true" : "false")
+             << ", \"runs\": " << stats.perf.runs;
+  if (stats.perf.supported) {
+    const auto proj = [&](const char* name, const obs::PerfCounts& p) {
+      model_json << ", \"" << name << "\": {\"cycles\": " << p.cycles
+                 << ", \"instructions\": " << p.instructions
+                 << ", \"cache_misses\": " << p.cache_misses
+                 << ", \"ipc\": " << fmt4(p.ipc()) << "}";
+    };
+    proj("gate", stats.perf.gate);
+    proj("up", stats.perf.up);
+    proj("down", stats.perf.down);
+  }
+  model_json << "}}";
 
   const std::string merge = cli.get_string("merge");
   const std::string out_path = cli.get_string("out");

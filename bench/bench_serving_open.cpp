@@ -196,6 +196,9 @@ int main(int argc, char** argv) {
   cli.add_string("out", "", "write a standalone JSON artifact to this path");
   cli.add_string("merge", "",
                  "merge the serving_open section into this bench JSON");
+  cli.add_string("trace", "",
+                 "replay the lowest sweep load fully traced and dump a "
+                 "Chrome/Perfetto trace here (+ <path>.prom metrics)");
   if (!cli.parse(argc, argv)) return 1;
 
   const bool smoke = cli.get_flag("smoke");
@@ -507,11 +510,13 @@ int main(int argc, char** argv) {
       random_compressed(256, 256, small_cfg, small_rng));
   const int overhead_threads = 4;
   const int per_thread = smoke ? 500 : 2000;
-  auto make_overhead_server = [&](bool telemetry) {
+  auto make_overhead_server = [&](bool telemetry,
+                                  std::uint32_t trace_sample_n = 0) {
     ServerOptions opt;
     opt.engine.num_threads = static_cast<unsigned>(cli.get_int("threads"));
     opt.num_shards = num_shards;
     opt.telemetry = telemetry;
+    opt.trace_sample_n = trace_sample_n;
     auto server = std::make_unique<Server>(opt);
     // Warm the plan cache so the measured loop is pure submit + serve.
     MatrixF a = random_matrix(1, 256, small_rng);
@@ -535,6 +540,28 @@ int main(int argc, char** argv) {
   std::cout << "contended submit: " << fmt2(rps_on)
             << " rps with telemetry vs " << fmt2(rps_off)
             << " rps without (ratio " << fmt2(rps_on / rps_off) << ")\n";
+
+  // --- 4b. tracing overhead: 1-in-N sampled span capture vs tracing
+  // off, production telemetry on in both. At the default sampling rate
+  // the per-submit cost is one relaxed fetch_add and a modulo, so the
+  // ratio must stay ~1.0; the committed number gates in
+  // check_perf_trend.py (>= 0.97, self-relative so it holds on any CPU).
+  const std::uint32_t trace_every = 1024;
+  auto server_traced = make_overhead_server(true, trace_every);
+  auto server_untraced = make_overhead_server(true);
+  double rps_traced = 0.0, rps_untraced = 0.0;
+  for (int pass = 0; pass < 3; ++pass) {
+    rps_traced = std::max(
+        rps_traced, submit_throughput(*server_traced, small_weights,
+                                      overhead_threads, per_thread));
+    rps_untraced = std::max(
+        rps_untraced, submit_throughput(*server_untraced, small_weights,
+                                        overhead_threads, per_thread));
+  }
+  std::cout << "trace overhead: " << fmt2(rps_traced) << " rps sampled 1/"
+            << trace_every << " vs " << fmt2(rps_untraced)
+            << " rps tracing off (ratio " << fmt2(rps_traced / rps_untraced)
+            << ")\n";
 
   // --- 5. submit scaling: achieved rps as submitter threads grow.
   // This is the sharded-dispatch payoff surface: with lock-free rings
@@ -562,11 +589,41 @@ int main(int argc, char** argv) {
   std::cout << " (4t/1t ratio " << fmt2(scaling_rps[2] / scaling_rps[0])
             << ")\n";
 
+  // --- traced replay (--trace): the lowest sweep load again on a fresh
+  // fully-traced server (sample 1-in-1) with the metrics exporter
+  // ticking. Dumps the Chrome/Perfetto trace to <path> and the
+  // Prometheus exposition to <path>.prom — the artifacts
+  // scripts/validate_trace.py schema-checks in CI.
+  const std::string trace_path = cli.get_string("trace");
+  if (!trace_path.empty()) {
+    ServerOptions opt = sweep_opt;
+    opt.trace_sample_n = 1;
+    opt.trace_buffer_spans = 1u << 16;
+    Server traced_server(opt);
+    Rng trace_rng(static_cast<std::uint64_t>(7));
+    const auto trace_targets =
+        build_targets(traced_server, hidden, ffn, max_tokens, trace_rng);
+    serve::TrafficOptions opts = traffic;
+    opts.offered_rps = loads[0].offered_rps;
+    opts.duration_s = std::min(duration_s, 0.2);
+    opts.metrics_interval_ms = 20;
+    opts.metrics_prometheus_path = trace_path + ".prom";
+    opts.metrics_json_path = trace_path + ".metrics.json";
+    auto report = serve::run_open_loop(traced_server, trace_targets, opts);
+    NMSPMM_CHECK_OK(report.status());
+    NMSPMM_CHECK_OK(traced_server.dump_trace(trace_path));
+    const Server::Stats tstats = traced_server.stats();
+    std::cout << "traced replay: wrote " << trace_path << " ("
+              << tstats.trace_spans << " spans, " << tstats.trace_drops
+              << " dropped) and " << trace_path << ".prom ("
+              << report->timeline.size() << " timeline samples)\n";
+  }
+
   // --- JSON section. The "gate" block is what check_perf_trend.py
   // regresses on: the mid-load per-class p99 (plus the offered rate, so
   // the gate can skip when two artifacts measured different loads).
   std::ostringstream json;
-  json << "{\"schema_version\": 1, \"hidden\": " << hidden
+  json << "{\"schema_version\": 2, \"hidden\": " << hidden
        << ", \"ffn\": " << ffn << ", \"threads\": " << cli.get_int("threads")
        << ", \"submit_threads\": " << submit_threads << ", \"seed\": " << seed
        << ", \"arrivals\": \""
@@ -612,6 +669,11 @@ int main(int argc, char** argv) {
        << ", \"telemetry_on_rps\": " << fmt2(rps_on)
        << ", \"telemetry_off_rps\": " << fmt2(rps_off)
        << ", \"on_off_ratio\": " << fmt2(rps_on / rps_off) << "}"
+       << ",\n    \"trace_overhead\": {\"sample_n\": " << trace_every
+       << ", \"threads\": " << overhead_threads
+       << ", \"traced_rps\": " << fmt2(rps_traced)
+       << ", \"untraced_rps\": " << fmt2(rps_untraced)
+       << ", \"on_off_ratio\": " << fmt2(rps_traced / rps_untraced) << "}"
        << ",\n    \"overload\": {\"offered_rps\": " << fmt2(overload_rps)
        << ", \"shed_pending_rows\": " << shed_rows
        << ", \"at_capacity_decode_p99_us\": " << at_capacity.decode.p99

@@ -229,6 +229,22 @@ def main(argv=None):
               f"submit_scaling {threads}t: {was:.0f} -> {now:.0f} rps "
               f"({delta:+.1%})")
 
+    # Tracing overhead: 1-in-N sampled span capture vs tracing off,
+    # measured interleaved in one bench run on one machine — a
+    # self-relative ratio, so it gates hard WITHOUT a same-CPU baseline
+    # (the two sides of the ratio already share their silicon). Sampled
+    # tracing must stay within 3% of tracing-off throughput.
+    ft = fresh.get("serving_open", {}).get("trace_overhead", {})
+    ratio = ft.get("on_off_ratio")
+    if ratio is not None:
+        line = (f"trace_overhead: sampled 1/{ft.get('sample_n')} tracing "
+                f"at {ratio:.3f}x of tracing-off submit throughput")
+        if ratio < 0.97:
+            failures.append(line)
+            print(f"FAIL {line}")
+        else:
+            print(f"ok   {line}")
+
     if failures:
         print(f"\n{len(failures)} section(s) regressed more than "
               f"{args.threshold:.0%}:")

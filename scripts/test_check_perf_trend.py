@@ -25,7 +25,7 @@ def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
              prefill_p99_us=20000, bursty_offered_rps=1000.0,
              bursty_decode_p99_us=4000, submit_4t_rps=20000.0,
              overload_offered_rps=1500.0, overload_shed_p99_us=3000,
-             overload_block_p99_us=8000):
+             overload_block_p99_us=8000, trace_ratio=0.99):
     return {
         "bench": "bench_resident",
         "schema_version": 2,
@@ -50,6 +50,10 @@ def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
                 {"threads": 1, "rps": 10000.0},
                 {"threads": 4, "rps": submit_4t_rps},
             ]},
+            "trace_overhead": {"sample_n": 1024, "threads": 4,
+                               "traced_rps": 20000.0 * trace_ratio,
+                               "untraced_rps": 20000.0,
+                               "on_off_ratio": trace_ratio},
             "overload": {"offered_rps": overload_offered_rps,
                          "shed_pending_rows": 256,
                          "policies": [
@@ -279,6 +283,26 @@ class CheckPerfTrendTest(unittest.TestCase):
         self.write(self.baseline, base)
         self.write(self.fresh, artifact(bursty_decode_p99_us=99999,
                                         submit_4t_rps=1.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_trace_overhead_below_097_fails_even_across_cpus(self):
+        # The ratio is self-relative (both sides measured on the runner
+        # in one bench run), so it gates hard without a same-CPU
+        # baseline — a cross-machine baseline must not demote it.
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh, artifact(trace_ratio=0.90))
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_trace_overhead_at_or_above_097_passes(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(trace_ratio=0.97))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_missing_trace_overhead_section_is_skipped(self):
+        fresh = artifact()
+        del fresh["serving_open"]["trace_overhead"]
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, fresh)
         self.assertEqual(self.run_gate(), 0)
 
     def test_new_sections_in_fresh_do_not_break_old_baselines(self):

@@ -1,7 +1,9 @@
 #include "mem/weight_store.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/fault.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
@@ -141,7 +143,17 @@ std::shared_ptr<const PackedWeights> WeightStore::pin_slow(
                    "packed weights were evicted and the source CompressedNM "
                    "has been released: cannot repack");
   const auto pool = lease.repack_pool_.lock();
+  const auto repack_start = std::chrono::steady_clock::now();
   auto rebuilt = build_payload(*source, lease, pool.get());
+  // Repack-on-demand is exactly the hidden latency a trace exists to
+  // surface: count it process-wide and emit a kRepack span (a tracing
+  // Server attributes the count to the execute window it landed in).
+  obs::count_repack_event(
+      lease.bytes_,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - repack_start)
+              .count()));
 
   std::lock_guard lock(mutex_);
   if (lease.payload_ == nullptr) {

@@ -84,6 +84,28 @@ Status ModelPlan::run(ConstViewF A, ViewF out) {
 
   // One scratch set per plan: run() is serialized, not reentrant.
   std::lock_guard lock(run_mutex_);
+
+  // Hardware-counter profiling: counters open lazily on the thread that
+  // first runs profiled (perf_event_open counts the opening thread), and
+  // each projection execute is bracketed start()/stop(). Off: one
+  // relaxed load. Unsupported (EPERM sandbox, non-Linux): opened once,
+  // then every start()/stop() is a no-op.
+  const bool profile = profiling_.load(std::memory_order_relaxed);
+  if (profile && perf_set_ == nullptr) {
+    auto fresh = std::make_unique<obs::PerfCounterSet>();
+    std::lock_guard plock(perf_mutex_);
+    perf_set_ = std::move(fresh);
+  }
+  const bool counting = profile && perf_set_->supported();
+  obs::PerfCounts prof[3];
+  const auto timed = [&](int proj, auto&& fn) -> Status {
+    if (!counting) return fn();
+    perf_set_->start();
+    const Status s = fn();
+    prof[proj] += perf_set_->stop();
+    return s;
+  };
+
   ConstViewF x = A;
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
     const FfnBlock& block = blocks_[b];
@@ -94,7 +116,8 @@ Status ModelPlan::run(ConstViewF A, ViewF out) {
     const ViewF gate = gate_buf_.view().block(0, 0, m, ffn);
     EpilogueArgs gate_args;
     gate_args.bias = block.gate_bias.empty() ? nullptr : block.gate_bias.data();
-    NMSPMM_RETURN_IF_ERROR(plans.gate->execute(x, gate, gate_args));
+    NMSPMM_RETURN_IF_ERROR(
+        timed(0, [&] { return plans.gate->execute(x, gate, gate_args); }));
 
     // h = (A Wu + bu) (.) act(gate): the SiLU·up fusion — activation and
     // elementwise product ride the up-projection's final-chunk stores,
@@ -103,7 +126,8 @@ Status ModelPlan::run(ConstViewF A, ViewF out) {
     EpilogueArgs up_args;
     up_args.bias = block.up_bias.empty() ? nullptr : block.up_bias.data();
     up_args.other = gate;
-    NMSPMM_RETURN_IF_ERROR(plans.up->execute(x, h, up_args));
+    NMSPMM_RETURN_IF_ERROR(
+        timed(1, [&] { return plans.up->execute(x, h, up_args); }));
 
     // out = h Wd (+ bd) (+ x); chains ping-pong the hidden-wide
     // activations. The residual add reads the block's input x in the
@@ -123,8 +147,14 @@ Status ModelPlan::run(ConstViewF A, ViewF out) {
       }
       down_args.residual = x;
     }
-    NMSPMM_RETURN_IF_ERROR(plans.down->execute(h, y, down_args));
+    NMSPMM_RETURN_IF_ERROR(
+        timed(2, [&] { return plans.down->execute(h, y, down_args); }));
     x = y;
+  }
+  if (counting) {
+    std::lock_guard plock(perf_mutex_);
+    ++perf_runs_;
+    for (int p = 0; p < 3; ++p) perf_proj_[p] += prof[p];
   }
   return Status::Ok();
 }
@@ -171,6 +201,15 @@ ModelPlan::Stats ModelPlan::stats() const {
   stats.scratch_bytes = gate_buf_.size_bytes() + h_buf_.size_bytes() +
                         hidden_buf_[0].size_bytes() +
                         hidden_buf_[1].size_bytes();
+  stats.perf.enabled = profiling_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard plock(perf_mutex_);
+    stats.perf.supported = perf_set_ != nullptr && perf_set_->supported();
+    stats.perf.runs = perf_runs_;
+    stats.perf.gate = perf_proj_[0];
+    stats.perf.up = perf_proj_[1];
+    stats.perf.down = perf_proj_[2];
+  }
   return stats;
 }
 

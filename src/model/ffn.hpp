@@ -30,6 +30,7 @@
 // pass over all three weight matrices.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include "core/engine.hpp"
 #include "core/epilogue.hpp"
 #include "core/spmm.hpp"
+#include "obs/perf_counters.hpp"
 #include "util/check.hpp"
 #include "util/matrix.hpp"
 
@@ -119,11 +121,41 @@ class ModelPlan {
     int packed_numa_node = -1;
     /// Counters of the WeightStore owning the packed forms.
     mem::WeightStore::Stats store;
+    /// Hardware-counter profile of the projection kernels, accumulated
+    /// over every run() executed while set_profiling(true) was in
+    /// effect. Counts are attributed per projection (gate / up / down —
+    /// the three kernel-variant call sites) and scoped to the thread
+    /// run() executes on: exact for serial plans (num_threads == 1, the
+    /// recommended profiling configuration), the calling thread's share
+    /// when a worker pool fans the tiles out. supported == false (with
+    /// zeroed counts) when perf_event_open is unavailable — unprivileged
+    /// containers, perf_event_paranoid, non-Linux hosts.
+    struct Perf {
+      bool enabled = false;    ///< set_profiling(true) is in effect
+      bool supported = false;  ///< counters actually opened
+      std::uint64_t runs = 0;  ///< profiled run() calls accumulated
+      obs::PerfCounts gate;
+      obs::PerfCounts up;
+      obs::PerfCounts down;
+    };
+    Perf perf;
     [[nodiscard]] std::size_t resident_bytes() const {
       return weight_bytes + packed_bytes + scratch_bytes;
     }
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Toggle hardware-counter profiling of subsequent run() calls (see
+  /// Stats::Perf). Counters are opened lazily on the first profiled
+  /// run(), on the thread that executes it; when disabled, run() pays
+  /// one relaxed atomic load and nothing else. Safe to call from any
+  /// thread; accumulated counts persist across toggles.
+  void set_profiling(bool enabled) {
+    profiling_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool profiling() const {
+    return profiling_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class nmspmm::Engine;
@@ -149,6 +181,16 @@ class ModelPlan {
   MatrixF gate_buf_;    ///< planned_tokens x max ffn
   MatrixF h_buf_;       ///< planned_tokens x max ffn
   MatrixF hidden_buf_[2];  ///< planned_tokens x max hidden (chains only)
+
+  // Hardware-counter profiling (Stats::Perf). The counter set and the
+  // accumulators are written only under run_mutex_ (run() serializes);
+  // stats() reads them under perf_mutex_, which run() also takes for the
+  // brief accumulate step — never across a kernel execution.
+  std::atomic<bool> profiling_{false};
+  mutable std::mutex perf_mutex_;
+  std::unique_ptr<obs::PerfCounterSet> perf_set_;  ///< lazily opened
+  std::uint64_t perf_runs_ = 0;
+  obs::PerfCounts perf_proj_[3];  ///< gate, up, down
 };
 
 }  // namespace nmspmm::model

@@ -1,0 +1,151 @@
+#include "obs/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace nmspmm::obs {
+
+PerfCounts& PerfCounts::operator+=(const PerfCounts& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  cache_misses += other.cache_misses;
+  stalled_backend += other.stalled_backend;
+  time_enabled_ns += other.time_enabled_ns;
+  time_running_ns += other.time_running_ns;
+  supported = supported || other.supported;
+  return *this;
+}
+
+double PerfCounts::ipc() const {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double PerfCounts::misses_per_kilo_instr() const {
+  if (instructions == 0) return 0.0;
+  return 1000.0 * static_cast<double>(cache_misses) /
+         static_cast<double>(instructions);
+}
+
+PerfCounterSet::PerfCounterSet() : PerfCounterSet(Options{}) {}
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // the leader gates the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+}  // namespace
+
+PerfCounterSet::PerfCounterSet(Options options) {
+  if (options.force_errno != 0) {
+    error_ = options.force_errno;
+    return;
+  }
+  static constexpr std::uint64_t kConfigs[kEvents] = {
+      PERF_COUNT_HW_CPU_CYCLES,
+      PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES,
+      PERF_COUNT_HW_STALLED_CYCLES_BACKEND,
+  };
+  // The cycles leader must open; siblings are best-effort (backend
+  // stalls are not architectural and EINVAL on some CPUs/VMs).
+  fds_[0] = open_event(PERF_TYPE_HARDWARE, kConfigs[0], -1);
+  if (fds_[0] < 0) {
+    error_ = errno;
+    return;
+  }
+  group_size_ = 1;
+  for (int e = 1; e < kEvents; ++e) {
+    fds_[e] = open_event(PERF_TYPE_HARDWARE, kConfigs[e], fds_[0]);
+    if (fds_[e] >= 0) ++group_size_;
+  }
+  supported_ = true;
+}
+
+PerfCounterSet::~PerfCounterSet() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounterSet::start() {
+  if (!supported_) return;
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounts PerfCounterSet::stop() {
+  PerfCounts counts;
+  if (!supported_) return counts;
+  ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  struct {
+    std::uint64_t nr;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+    std::uint64_t values[kEvents];
+  } data = {};
+  const ssize_t got = read(fds_[0], &data, sizeof(data));
+  if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return counts;
+  counts.supported = true;
+  counts.time_enabled_ns = data.time_enabled;
+  counts.time_running_ns = data.time_running;
+  // Multiplex correction: the PMU may have time-shared this group with
+  // others; scale up by enabled/running (1.0 when never descheduled).
+  double scale = 1.0;
+  if (data.time_running > 0 && data.time_running < data.time_enabled) {
+    scale = static_cast<double>(data.time_enabled) /
+            static_cast<double>(data.time_running);
+  }
+  const auto scaled = [scale](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+  };
+  // Group values arrive in opening order; events that failed to open
+  // were never part of the group, so later values shift down.
+  int pos = 0;
+  std::uint64_t raw[kEvents] = {};
+  for (int e = 0; e < kEvents; ++e) {
+    if (fds_[e] >= 0 && pos < static_cast<int>(data.nr)) {
+      raw[e] = data.values[pos++];
+    }
+  }
+  counts.cycles = scaled(raw[0]);
+  counts.instructions = scaled(raw[1]);
+  counts.cache_misses = scaled(raw[2]);
+  counts.stalled_backend = scaled(raw[3]);
+  return counts;
+}
+
+#else  // !__linux__
+
+PerfCounterSet::PerfCounterSet(Options options) {
+  error_ = options.force_errno != 0 ? options.force_errno : 38;  // ENOSYS
+}
+PerfCounterSet::~PerfCounterSet() = default;
+void PerfCounterSet::start() {}
+PerfCounts PerfCounterSet::stop() { return PerfCounts{}; }
+
+#endif
+
+}  // namespace nmspmm::obs

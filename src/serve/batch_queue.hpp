@@ -39,6 +39,9 @@ struct BatchRequest {
   /// Absolute SLO deadline; time_point::max() when the caller set none.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Nonzero when this request was sampled for span tracing
+  /// (obs/trace.hpp); the id ties its per-stage spans together.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();

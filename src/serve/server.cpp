@@ -76,6 +76,26 @@ std::uint64_t mix_pointer(const void* p) {
   return x;
 }
 
+/// FlushReason / RequestClass as the attribute bytes trace spans carry
+/// (obs is layered below serve and defines its own canonical tables).
+std::uint8_t trace_flush_byte(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kFull:
+      return 0;
+    case FlushReason::kTimeout:
+      return 1;
+    case FlushReason::kSlo:
+      return 2;
+    case FlushReason::kShutdown:
+      return 3;
+  }
+  return obs::kNoAttr;
+}
+
+std::uint8_t trace_cls_byte(serve::RequestClass cls) {
+  return static_cast<std::uint8_t>(cls);
+}
+
 }  // namespace
 
 std::size_t Server::GroupKeyHash::operator()(
@@ -131,10 +151,18 @@ Server::Server(ServerOptions options)
         std::clamp(std::thread::hardware_concurrency() / 2, 1u, 4u);
   }
   if (options_.ring_capacity == 0) options_.ring_capacity = 1024;
+  if (options_.trace_sample_n > 0) {
+    tracer_ = std::make_unique<obs::TraceRecorder>(
+        obs::TraceRecorder::Options{options_.trace_buffer_spans});
+    // Subsystems with no path to this Server (WeightStore repack) emit
+    // through the process-global hook; last tracing server wins.
+    obs::set_global_recorder(tracer_.get());
+  }
   shards_.reserve(options_.num_shards);
   for (unsigned i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(options_.ring_capacity, options_.telemetry));
+    shards_.back()->index = static_cast<std::uint16_t>(i);
   }
   options_.ring_capacity = shards_.front()->ring.capacity();
   // Threads start only after every shard exists: a dispatcher never
@@ -148,6 +176,10 @@ Server::Server(ServerOptions options)
 Server::~Server() { shutdown(); }
 
 void Server::shutdown() {
+  // Unhook the global trace recorder first: after shutdown returns the
+  // caller may destroy this Server, and a WeightStore repack on another
+  // server's engine must not record into a recorder about to die.
+  if (tracer_ != nullptr) obs::clear_global_recorder(tracer_.get());
   stop_.store(true, std::memory_order_seq_cst);
   for (auto& shard : shards_) {
     // Lock-then-notify: a dispatcher between its predicate check and
@@ -264,6 +296,17 @@ std::future<Status> Server::enqueue(GroupKey key,
   }
   const auto cls = serve::classify_rows(A.rows());
 
+  // Trace sampling: every accepted request (bypassed included) draws a
+  // ticket; 1 in trace_sample_n carries a nonzero trace id through its
+  // whole life cycle. One relaxed fetch_add when tracing is on, nothing
+  // at all when it is off.
+  std::uint64_t trace_id = 0;
+  if (tracer_ != nullptr) {
+    const std::uint64_t n =
+        trace_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (n % options_.trace_sample_n == 0) trace_id = n + 1;
+  }
+
   // Single-row fast path: with nothing in flight on the shard there is
   // nothing to coalesce with — serve synchronously here instead of
   // paying the dispatch round-trip. Skips batch accounting entirely
@@ -318,6 +361,27 @@ std::future<Status> Server::enqueue(GroupKey key,
     if (!status.ok()) {
       g.counters.errors.fetch_add(1, std::memory_order_relaxed);
       shard.totals.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (trace_id != 0) {
+      const auto target = static_cast<std::uint64_t>(
+          reinterpret_cast<std::uintptr_t>(key.target));
+      auto emit = [&](obs::SpanKind kind, Clock::time_point from,
+                      Clock::time_point to) {
+        obs::TraceSpan span;
+        span.trace_id = trace_id;
+        span.kind = kind;
+        span.ts_us = tracer_->to_us(from);
+        span.dur_us = elapsed_us(from, to);
+        span.target = target;
+        span.rows = 1;
+        span.shard = shard.index;
+        span.cls = trace_cls_byte(cls);
+        span.lane = obs::ExecLane::kBypass;
+        tracer_->record(span);
+      };
+      emit(obs::SpanKind::kSubmit, submitted, exec_start);
+      emit(obs::SpanKind::kExecute, exec_start, resolved);
+      emit(obs::SpanKind::kTotal, submitted, resolved);
     }
     done.set_value(status);
     return result;
@@ -380,7 +444,7 @@ std::future<Status> Server::enqueue(GroupKey key,
   msg.weights = std::move(weights);
   msg.ffn_plan = std::move(plan);
   msg.request = BatchRequest{A, C, std::move(done), submitted, Clock::now(),
-                             deadline_from(submitted, deadline_us)};
+                             deadline_from(submitted, deadline_us), trace_id};
   // Undo the publish-protocol counters on any abort below (the request
   // never reaches the ring, so nothing downstream will release them).
   auto release = [&] {
@@ -484,6 +548,19 @@ std::size_t Server::drain_ring(Shard& shard, std::uint64_t& drained,
                  serve::classify_rows(m.request.a.rows()),
                  serve::Stage::kSubmit,
                  elapsed_us(m.request.submitted, m.request.enqueued));
+    if (m.request.trace_id != 0 && tracer_ != nullptr) {
+      obs::TraceSpan span;
+      span.trace_id = m.request.trace_id;
+      span.kind = obs::SpanKind::kSubmit;
+      span.ts_us = tracer_->to_us(m.request.submitted);
+      span.dur_us = elapsed_us(m.request.submitted, m.request.enqueued);
+      span.target = static_cast<std::uint64_t>(
+          reinterpret_cast<std::uintptr_t>(m.key.target));
+      span.rows = static_cast<std::uint32_t>(rows);
+      span.shard = shard.index;
+      span.cls = trace_cls_byte(serve::classify_rows(m.request.a.rows()));
+      tracer_->record(span);
+    }
     g.queue.push(std::move(m.request));
     atomic_max(g.counters.max_queue_depth, g.queue.max_depth_seen());
     atomic_max(shard.totals.max_queue_depth, g.queue.max_depth_seen());
@@ -532,6 +609,7 @@ Server::PendingBatch Server::next_batch(Shard& shard,
   batch.group = *pick;
   batch.options = pick_key->options;
   batch.popped = now;
+  batch.reason = reason;
   batch.requests = g.queue.take_batch(budget);
   for (const BatchRequest& r : batch.requests) batch.rows += r.a.rows();
   g.counters.batches.fetch_add(1, std::memory_order_relaxed);
@@ -603,6 +681,9 @@ void Server::resolve_request(Shard& shard, PendingBatch& batch,
                elapsed_us(exec_start, exec_end));
   record_stage(shard, g.telemetry.get(), cls, serve::Stage::kTotal,
                elapsed_us(r.submitted, resolved));
+  if (r.trace_id != 0 && tracer_ != nullptr) {
+    trace_request(shard, batch, r, exec_start, exec_end, resolved);
+  }
   // Drop inflight before fulfilling the promise: a caller that joins
   // and immediately submits a single row must observe the idle shard
   // (bypass eligibility), not a stale in-flight count.
@@ -613,6 +694,38 @@ void Server::resolve_request(Shard& shard, PendingBatch& batch,
                                 std::memory_order_relaxed);
   shard.inflight.fetch_sub(1, std::memory_order_seq_cst);
   r.done.set_value(status);
+}
+
+void Server::trace_request(const Shard& shard, const PendingBatch& batch,
+                           const BatchRequest& r,
+                           Clock::time_point exec_start,
+                           Clock::time_point exec_end,
+                           Clock::time_point resolved) const {
+  const Group& g = *batch.group;
+  const void* target = g.ffn_plan != nullptr
+                           ? static_cast<const void*>(g.ffn_plan.get())
+                           : static_cast<const void*>(g.weights.get());
+  obs::TraceSpan span;
+  span.trace_id = r.trace_id;
+  span.target =
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(target));
+  span.rows = static_cast<std::uint32_t>(r.a.rows());
+  span.shard = shard.index;
+  span.cls = trace_cls_byte(serve::classify_rows(r.a.rows()));
+  span.flush = trace_flush_byte(batch.reason);
+  span.lane = batch.lane;
+  auto emit = [&](obs::SpanKind kind, Clock::time_point from,
+                  Clock::time_point to, std::uint64_t detail = 0) {
+    span.kind = kind;
+    span.ts_us = tracer_->to_us(from);
+    span.dur_us = elapsed_us(from, to);
+    span.detail = detail;
+    tracer_->record(span);
+  };
+  emit(obs::SpanKind::kQueue, r.enqueued, batch.popped);
+  emit(obs::SpanKind::kGather, batch.popped, exec_start);
+  emit(obs::SpanKind::kExecute, exec_start, exec_end, batch.exec_repacks);
+  emit(obs::SpanKind::kTotal, r.submitted, resolved);
 }
 
 Status Server::serve_batch(Shard& shard, PendingBatch& batch,
@@ -626,11 +739,13 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
   // the execution path (same plan caches, zero copies).
   if (batch.requests.size() == 1) {
     BatchRequest& r = batch.requests.front();
+    const std::uint64_t repacks_before = obs::repack_events();
     const auto exec_start = Clock::now();
     const Status status = ffn
                               ? g.ffn_plan->run(r.a, r.c)
                               : engine_.spmm(r.a, g.weights, r.c,
                                              batch.options);
+    batch.exec_repacks = obs::repack_events() - repacks_before;
     resolve_request(shard, batch, r, exec_start, Clock::now(), status);
     return status;
   }
@@ -698,11 +813,13 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
   }
   const ConstViewF a_view = st.a.view().block(0, 0, batch.rows, k);
   const ViewF c_view = st.c.view().block(0, 0, batch.rows, n);
+  const std::uint64_t repacks_before = obs::repack_events();
   const auto exec_start = Clock::now();
   const Status status = ffn ? g.ffn_plan->run(a_view, c_view)
                             : engine_.spmm(a_view, g.weights, c_view,
                                            batch.options);
   const auto exec_end = Clock::now();
+  batch.exec_repacks = obs::repack_events() - repacks_before;
   if (status.ok()) {
     row = 0;
     for (const BatchRequest& r : batch.requests) {
@@ -729,6 +846,8 @@ Status Server::serve_batch_split(Shard& shard, PendingBatch& batch) {
   // run_chunks spreading the lanes over the workers.
   SpmmOptions lane_options = batch.options;
   lane_options.num_threads = 1;
+  batch.lane = obs::ExecLane::kSplit;
+  const std::uint64_t repacks_before = obs::repack_events();
   engine_.pool()->run_chunks(
       static_cast<std::int64_t>(n), [&](std::int64_t i) {
         BatchRequest& r = batch.requests[static_cast<std::size_t>(i)];
@@ -736,6 +855,7 @@ Status Server::serve_batch_split(Shard& shard, PendingBatch& batch) {
         statuses[i] = engine_.spmm(r.a, g.weights, r.c, lane_options);
         ends[i] = Clock::now();
       });
+  batch.exec_repacks = obs::repack_events() - repacks_before;
   g.counters.split_batches.fetch_add(1, std::memory_order_relaxed);
   shard.totals.split_batches.fetch_add(1, std::memory_order_relaxed);
   Status worst;
@@ -840,8 +960,10 @@ void Server::dispatcher_loop(Shard& shard) {
         static_cast<void>(serve_batch(shard, batch, staging));
       } catch (const std::bad_alloc& e) {
         fail_batch(shard, batch, Status::ResourceExhausted(e.what()));
+        flight_dump();
       } catch (const std::exception& e) {
         fail_batch(shard, batch, Status::Internal(e.what()));
+        flight_dump();
       }
       {
         std::lock_guard lock(shard.mutex);
@@ -905,11 +1027,32 @@ void Server::dispatcher_loop(Shard& shard) {
   }
 }
 
+Status Server::dump_trace(const std::string& path) const {
+  if (tracer_ == nullptr) {
+    return Status::FailedPrecondition(
+        "tracing is off (ServerOptions::trace_sample_n == 0)");
+  }
+  return tracer_->dump_chrome_json(path);
+}
+
+void Server::flight_dump() const {
+  // The flight recorder: after an injected-fault (or real) batch
+  // failure the last trace_buffer_spans spans land on disk unasked.
+  if (tracer_ == nullptr || options_.trace_flight_path.empty()) return;
+  static_cast<void>(tracer_->dump_chrome_json(options_.trace_flight_path));
+}
+
 Server::Stats Server::stats() const {
   Stats stats;
   stats.shards = shards_.size();
+  stats.per_shard.reserve(shards_.size());
+  if (tracer_ != nullptr) {
+    stats.trace_spans = tracer_->recorded();
+    stats.trace_drops = tracer_->drops();
+  }
   for (const auto& shard : shards_) {
-    accumulate(stats.totals, shard->totals.snapshot());
+    stats.per_shard.push_back(shard->totals.snapshot());
+    accumulate(stats.totals, stats.per_shard.back());
     stats.groups += shard->groups_seen.load(std::memory_order_relaxed);
     stats.ring_stalls +=
         shard->ring_stalls.load(std::memory_order_relaxed);

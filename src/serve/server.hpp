@@ -93,12 +93,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "model/ffn.hpp"
+#include "obs/trace.hpp"
 #include "serve/batch_queue.hpp"
 #include "serve/mpsc_ring.hpp"
 #include "serve/telemetry.hpp"
@@ -202,6 +204,23 @@ struct ServerOptions {
   /// reaches this many (prefill-heavy; the gather/scatter copy starts
   /// to cost more than the split's extra weight reads).
   index_t split_min_avg_rows = 16;
+  /// Span tracing (src/obs/trace.hpp): trace 1 request in every
+  /// trace_sample_n (0 = tracing off; 1 = every request). A traced
+  /// request leaves one span per life-cycle stage — submit, queue,
+  /// gather, execute, total — carrying shard / flush-reason / execute-
+  /// lane / repack attributes, retrievable via dump_trace(). The record
+  /// cost is a handful of relaxed stores, so 1-in-1024 sampling is ≈0
+  /// on the submit path (gated by the trace_overhead bench block).
+  std::uint64_t trace_sample_n = 0;
+  /// Spans retained per recording thread (the flight-recorder window;
+  /// rounded up to a power of two). Overwrites count in
+  /// stats().trace_drops, never silently.
+  std::size_t trace_buffer_spans = 4096;
+  /// When nonempty (and tracing is on), a dispatcher whose batch fails
+  /// through the exception guard dumps the flight recorder here —
+  /// after a chaos/fault failure the last trace_buffer_spans spans of
+  /// history are on disk without anyone having asked.
+  std::string trace_flight_path;
   /// The backing engine (worker pool + plan cache) the server owns.
   EngineOptions engine;
 };
@@ -289,6 +308,14 @@ class Server {
     /// Per-request stage latency distributions across every group, live
     /// and evicted (empty when ServerOptions::telemetry is off).
     serve::TelemetrySnapshot latency;
+    /// Trace spans recorded / overwritten by ring wraparound (0 when
+    /// tracing is off). Nonzero trace_drops means the flight window was
+    /// shorter than the traffic between dumps.
+    std::uint64_t trace_spans = 0;
+    std::uint64_t trace_drops = 0;
+    /// Per-dispatcher-shard counters, indexed by shard (the tid of the
+    /// trace dump); totals above is their exact aggregate.
+    std::vector<GroupStats> per_shard;
   };
   /// Aggregate counters and latency across all shards. Lock-free: reads
   /// per-shard atomic counters and merges per-shard telemetry snapshots
@@ -309,6 +336,16 @@ class Server {
   /// As weights_latency, for the FFN groups serving @p plan.
   [[nodiscard]] serve::TelemetrySnapshot model_latency(
       const model::ModelPlan* plan) const;
+
+  /// Write every retained trace span as Chrome trace-event JSON (load
+  /// the file in chrome://tracing or ui.perfetto.dev). FAILED_PRECONDITION
+  /// when tracing is off (ServerOptions::trace_sample_n == 0).
+  [[nodiscard]] Status dump_trace(const std::string& path) const;
+  /// The span recorder (null when tracing is off). Exposed for tests
+  /// and harnesses that want spans without going through a file.
+  [[nodiscard]] const obs::TraceRecorder* tracer() const {
+    return tracer_.get();
+  }
 
   [[nodiscard]] Engine& engine() { return engine_; }
   /// Post-construction options: num_shards / ring_capacity reflect the
@@ -387,6 +424,12 @@ class Server {
     index_t rows = 0;
     /// When the batch left its queue — end of each request's kQueue stage.
     Clock::time_point popped;
+    /// Why next_batch flushed it (a trace attribute on every span).
+    FlushReason reason = FlushReason::kTimeout;
+    /// How serve_batch executed it, and the WeightStore repack events
+    /// observed during the execute window (trace attributes).
+    obs::ExecLane lane = obs::ExecLane::kCoalesce;
+    std::uint64_t exec_repacks = 0;
   };
   /// Reusable gather/scatter staging, owned by one dispatcher thread and
   /// keyed by batch target (weights or model plan).
@@ -423,6 +466,9 @@ class Server {
                               : nullptr) {}
 
     serve::MpscRing<SubmitMsg> ring;
+    /// Position in Server::shards_ (the shard attribute of trace spans
+    /// and the tid of the Chrome trace dump).
+    std::uint16_t index = 0;
     /// Successful ring publishes (the eventcount ticket).
     std::atomic<std::uint64_t> pushed{0};
     /// Dispatcher is (about to be) parked on cv.
@@ -522,9 +568,24 @@ class Server {
   [[nodiscard]] serve::TelemetrySnapshot target_latency(
       const void* target) const;
 
+  /// Emit the per-stage spans of one resolved traced request (r must
+  /// carry a nonzero trace_id); @p resolved closes the kTotal span.
+  void trace_request(const Shard& shard, const PendingBatch& batch,
+                     const BatchRequest& r, Clock::time_point exec_start,
+                     Clock::time_point exec_end,
+                     Clock::time_point resolved) const;
+  /// Dump the flight recorder to options_.trace_flight_path (no-op when
+  /// tracing is off or the path is empty). Called by the dispatcher's
+  /// exception guard after a batch failure.
+  void flight_dump() const;
+
   ServerOptions options_;
   Engine engine_;
   std::atomic<bool> stop_{false};
+  /// Span recorder (null when trace_sample_n == 0) and the sampling
+  /// sequence: request n is traced when n % trace_sample_n == 0.
+  std::unique_ptr<obs::TraceRecorder> tracer_;
+  std::atomic<std::uint64_t> trace_seq_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

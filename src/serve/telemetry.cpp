@@ -30,6 +30,10 @@ void StageSnapshot::merge(const StageSnapshot& other) {
   for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
     counts[b] += other.counts[b];
   }
+  if (other.count > 0) {
+    min_us = count > 0 ? std::min(min_us, other.min_us) : other.min_us;
+    max_us = std::max(max_us, other.max_us);
+  }
   count += other.count;
   sum_us += other.sum_us;
 }
@@ -50,12 +54,19 @@ std::uint64_t StageSnapshot::percentile(double q) const {
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
              std::ceil(q * static_cast<double>(count))));
+  // Clamp to the exact max: a bucket's upper bound can overstate by the
+  // bucket width, but no sample exceeds max_us. (After subtract() the
+  // clamp uses the cumulative max — still a correct upper bound.)
+  const auto clamp_max = [this](std::uint64_t upper) {
+    return max_us > 0 ? std::min(upper, max_us) : upper;
+  };
   std::uint64_t seen = 0;
   for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
     seen += counts[b];
-    if (seen >= rank) return LatencyHistogram::bucket_upper_us(b);
+    if (seen >= rank) return clamp_max(LatencyHistogram::bucket_upper_us(b));
   }
-  return LatencyHistogram::bucket_upper_us(LatencyHistogram::kBuckets - 1);
+  return clamp_max(
+      LatencyHistogram::bucket_upper_us(LatencyHistogram::kBuckets - 1));
 }
 
 void TelemetrySnapshot::merge(const TelemetrySnapshot& other) {
@@ -116,11 +127,23 @@ TelemetrySnapshot Telemetry::snapshot() const {
       for (int s = 0; s < kNumStages; ++s) {
         const LatencyHistogram& hist = shard->hist[c][s];
         StageSnapshot& out = snap.stages[c][s];
+        std::uint64_t added = 0;
         for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
           const std::uint64_t n = hist.bucket_count(b);
           out.counts[b] += n;
-          out.count += n;
+          added += n;
         }
+        if (added > 0) {
+          // A snapshot racing record() may see the bucket increment
+          // before the min CAS: skip the still-sentinel min.
+          const std::uint64_t hmin = hist.min_us();
+          if (hmin != ~std::uint64_t{0}) {
+            out.min_us =
+                out.count > 0 ? std::min(out.min_us, hmin) : hmin;
+          }
+          out.max_us = std::max(out.max_us, hist.max_us());
+        }
+        out.count += added;
         out.sum_us += hist.sum_us();
       }
       snap.violations[c] +=

@@ -114,6 +114,17 @@ class LatencyHistogram {
   void record(std::uint64_t us) {
     counts_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
     sum_us_.fetch_add(us, std::memory_order_relaxed);
+    // Exact min/max ride along (monotone CAS, relaxed): percentiles are
+    // bucket upper bounds, but the extremes — and through sum/count the
+    // mean — stay exact.
+    std::uint64_t cur = min_us_.load(std::memory_order_relaxed);
+    while (us < cur && !min_us_.compare_exchange_weak(
+                           cur, us, std::memory_order_relaxed)) {
+    }
+    cur = max_us_.load(std::memory_order_relaxed);
+    while (us > cur && !max_us_.compare_exchange_weak(
+                           cur, us, std::memory_order_relaxed)) {
+    }
   }
 
   [[nodiscard]] std::uint64_t bucket_count(int b) const {
@@ -122,10 +133,19 @@ class LatencyHistogram {
   [[nodiscard]] std::uint64_t sum_us() const {
     return sum_us_.load(std::memory_order_relaxed);
   }
+  /// Smallest sample recorded (UINT64_MAX sentinel when none yet).
+  [[nodiscard]] std::uint64_t min_us() const {
+    return min_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> counts_[kBuckets] = {};
   std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> min_us_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_us_{0};
 };
 
 /// Plain-value aggregate of one (class, stage) histogram: additive,
@@ -134,14 +154,23 @@ struct StageSnapshot {
   std::uint64_t counts[LatencyHistogram::kBuckets] = {};
   std::uint64_t count = 0;
   std::uint64_t sum_us = 0;
+  /// Exact extremes of the recorded samples; both 0 when empty. After
+  /// subtract() they remain the *cumulative* extremes (a histogram
+  /// cannot un-see its max) — conservative bounds for the delta window.
+  std::uint64_t min_us = 0;
+  std::uint64_t max_us = 0;
 
   void merge(const StageSnapshot& other);
   /// this -= earlier: the samples recorded strictly after @p earlier was
-  /// taken. Both must come from the same (set of) recorders.
+  /// taken. Both must come from the same (set of) recorders. min_us /
+  /// max_us keep their cumulative values (see above).
   void subtract(const StageSnapshot& earlier);
 
   /// Upper bound (us) of the bucket holding the rank-ceil(q * count)
-  /// sample; 0 when empty. q in [0, 1].
+  /// sample, clamped to the exact max_us — so a percentile can never
+  /// overstate past the largest sample actually seen (fixes systematic
+  /// p50 overstatement at bucket edges in low-count regimes); 0 when
+  /// empty. q in [0, 1].
   [[nodiscard]] std::uint64_t percentile(double q) const;
   [[nodiscard]] std::uint64_t p50() const { return percentile(0.50); }
   [[nodiscard]] std::uint64_t p95() const { return percentile(0.95); }

@@ -285,6 +285,18 @@ StatusOr<TrafficReport> run_open_loop(
   }
 
   const auto before = server.stats();
+  // Optional metrics timeline: the exporter thread polls stats() on its
+  // own cadence for the whole run (submission + drain) and the samples
+  // land in the report. File export (if paths are set) rides the same
+  // ticks, so a scraper can watch the run live.
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (options.metrics_interval_ms > 0) {
+    obs::MetricsExporter::Options mopts;
+    mopts.interval_ms = options.metrics_interval_ms;
+    mopts.prometheus_path = options.metrics_prometheus_path;
+    mopts.json_path = options.metrics_json_path;
+    exporter = std::make_unique<obs::MetricsExporter>(server, mopts);
+  }
   const int num_threads = options.submit_threads;
   const double rate_per_thread = options.offered_rps / num_threads;
   std::vector<ThreadTally> tallies(num_threads);
@@ -440,6 +452,10 @@ StatusOr<TrafficReport> run_open_loop(
   const auto after = server.stats();
 
   TrafficReport report;
+  if (exporter != nullptr) {
+    exporter->stop();  // final sample + file write before we read
+    report.timeline = exporter->samples();
+  }
   report.offered_rps = options.offered_rps;
   report.duration_s = wall_s;
   report.classes.reserve(classes.size());

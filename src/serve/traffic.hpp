@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "model/ffn.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "serve/telemetry.hpp"
 
@@ -111,6 +112,15 @@ struct TrafficOptions {
   /// Client-side retry of retryable failures (off by default).
   RetryPolicy retry;
   std::vector<TrafficClass> classes;  ///< default: 1-row, no deadline
+  /// Metrics sampling cadence during the run (0 = off): an
+  /// obs::MetricsExporter polls server.stats() every interval and its
+  /// timeline lands in TrafficReport::timeline — time series of the
+  /// run's counters instead of end-only aggregates.
+  std::uint32_t metrics_interval_ms = 0;
+  /// Optional export files rewritten atomically each sample tick while
+  /// the run is live ("" = in-memory timeline only).
+  std::string metrics_prometheus_path;
+  std::string metrics_json_path;
 };
 
 struct ClassReport {
@@ -161,6 +171,11 @@ struct TrafficReport {
   std::uint64_t retries = 0;
   std::uint64_t retry_ok = 0;
   std::uint64_t retry_denied = 0;
+  /// Periodic stats() samples over the run (metrics_interval_ms > 0
+  /// only). Counters are cumulative-since-server-start — difference
+  /// adjacent samples for rates; t_ms counts from just before the first
+  /// arrival.
+  std::vector<obs::TimelineSample> timeline;
 };
 
 /// Drive @p server open-loop per @p options, splitting arrivals across

@@ -20,7 +20,9 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -71,6 +73,7 @@ Outcomes run_storm(const StormConfig& cfg,
     MatrixF a, c;
     std::future<Status> fut;
   };
+  const bool failed_before = ::testing::Test::HasFailure();
   Server server(cfg.server);
   const index_t k = b0->orig_rows;
   std::vector<std::vector<Slot>> slots(cfg.threads);
@@ -123,6 +126,19 @@ Outcomes run_storm(const StormConfig& cfg,
     }
   }
   if (stats_out != nullptr) *stats_out = server.stats();
+  // Flight recorder: when tracing was armed and this storm newly failed
+  // an expectation, dump the span ring next to the failure output — a
+  // seeded schedule must never fail without leaving its trace behind.
+  if (cfg.server.trace_sample_n > 0 && !failed_before &&
+      ::testing::Test::HasFailure()) {
+    const std::string path = ::testing::TempDir() + "chaos_flight_seed_" +
+                             std::to_string(cfg.seed) + ".json";
+    const Status dumped = server.dump_trace(path);
+    std::cerr << "[chaos] storm seed " << cfg.seed << " failed; trace "
+              << (dumped.ok() ? "dumped to " + path
+                              : "dump failed: " + dumped.to_string())
+              << " (trace_drops=" << server.stats().trace_drops << ")\n";
+  }
   return out;
 }
 
@@ -236,6 +252,14 @@ TEST(Chaos, HundredSeededFaultSchedulesPreserveServingInvariants) {
     cfg.server.bypass_single_rows = (seed % 2 == 0);
     cfg.server.admission = static_cast<AdmissionPolicy>(seed % 3);
     cfg.server.shed_pending_rows = 16;
+    // Arm the flight recorder: trace every request so a failing seed
+    // dumps its last spans (run_storm) and a dispatcher-side injected
+    // fault dumps via trace_flight_path even before the test notices.
+    cfg.server.trace_sample_n = 1;
+    cfg.server.trace_buffer_spans = 1024;
+    cfg.server.trace_flight_path = ::testing::TempDir() +
+                                   "chaos_flight_dispatcher_" +
+                                   std::to_string(seed) + ".json";
     cfg.seed = seed;
     Server::Stats stats;
     const Outcomes out = run_storm(cfg, b0, b1, &stats);

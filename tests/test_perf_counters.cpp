@@ -1,0 +1,136 @@
+// obs::PerfCounterSet: graceful fallback when perf_event_open is
+// unavailable (the common sandbox/CI case), real counting where the
+// kernel allows it, PerfCounts arithmetic, and ModelPlan profiling.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <memory>
+
+#include "core/nmspmm.hpp"
+#include "obs/perf_counters.hpp"
+#include "tests/testing.hpp"
+#include "workloads/generators.hpp"
+
+namespace nmspmm {
+namespace {
+
+TEST(PerfCounters, ForcedOpenFailureDegradesToUnsupported) {
+  obs::PerfCounterSet::Options opt;
+  opt.force_errno = EPERM;  // what perf_event_paranoid sandboxes return
+  obs::PerfCounterSet perf(opt);
+  EXPECT_FALSE(perf.supported());
+  EXPECT_EQ(perf.error(), EPERM);
+  // start/stop must be harmless no-ops reporting zeroed, unsupported
+  // counts — profiling sites never branch on perf availability.
+  perf.start();
+  const obs::PerfCounts counts = perf.stop();
+  EXPECT_FALSE(counts.supported);
+  EXPECT_EQ(counts.cycles, 0u);
+  EXPECT_EQ(counts.instructions, 0u);
+  EXPECT_EQ(counts.cache_misses, 0u);
+  EXPECT_EQ(counts.time_enabled_ns, 0u);
+  EXPECT_EQ(counts.ipc(), 0.0);
+  EXPECT_EQ(counts.misses_per_kilo_instr(), 0.0);
+}
+
+TEST(PerfCounters, RealCountersMeasureWorkWhenTheKernelAllows) {
+  obs::PerfCounterSet perf;
+  if (!perf.supported()) {
+    GTEST_SKIP() << "perf_event_open unavailable here (errno "
+                 << perf.error() << ")";
+  }
+  perf.start();
+  // Enough dependent work that cycles/instructions cannot read zero.
+  volatile std::uint64_t sink = 1;
+  for (int i = 0; i < 100000; ++i) sink = sink * 2654435761u + 1;
+  const obs::PerfCounts counts = perf.stop();
+  EXPECT_TRUE(counts.supported);
+  EXPECT_GT(counts.cycles, 0u);
+  EXPECT_GT(counts.instructions, 0u);
+  EXPECT_GT(counts.ipc(), 0.0);
+  EXPECT_GT(counts.time_enabled_ns, 0u);
+  // A stopped set can be restarted; the reset means the second region
+  // is counted on its own, not cumulatively.
+  perf.start();
+  const obs::PerfCounts empty_region = perf.stop();
+  EXPECT_TRUE(empty_region.supported);
+  EXPECT_LT(empty_region.instructions, counts.instructions);
+}
+
+TEST(PerfCounters, CountsAccumulateAndDeriveRates) {
+  obs::PerfCounts a;
+  a.cycles = 1000;
+  a.instructions = 2000;
+  a.cache_misses = 10;
+  a.time_enabled_ns = 5;
+  a.supported = true;
+  obs::PerfCounts b;
+  b.cycles = 500;
+  b.instructions = 1000;
+  b.cache_misses = 5;
+  b.stalled_backend = 7;
+  b += a;
+  EXPECT_EQ(b.cycles, 1500u);
+  EXPECT_EQ(b.instructions, 3000u);
+  EXPECT_EQ(b.cache_misses, 15u);
+  EXPECT_EQ(b.stalled_backend, 7u);
+  EXPECT_EQ(b.time_enabled_ns, 5u);
+  EXPECT_TRUE(b.supported);  // supported ORs: any measured part counts
+  EXPECT_DOUBLE_EQ(b.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(b.misses_per_kilo_instr(), 5.0);
+  EXPECT_EQ(obs::PerfCounts{}.ipc(), 0.0);
+  EXPECT_EQ(obs::PerfCounts{}.misses_per_kilo_instr(), 0.0);
+}
+
+TEST(ModelPlanProfiling, StatsAttributeProjectionsWhenEnabled) {
+  Rng rng(77);
+  const NMConfig cfg{2, 4, 16};
+  model::FfnBlock block;
+  block.gate = std::make_shared<const CompressedNM>(
+      random_compressed_int(64, 112, cfg, rng));
+  block.up = std::make_shared<const CompressedNM>(
+      random_compressed_int(64, 112, cfg, rng));
+  block.down = std::make_shared<const CompressedNM>(
+      random_compressed_int(112, 64, cfg, rng));
+  Engine engine;
+  auto plan_or = engine.plan_model(8, {block});
+  NMSPMM_ASSERT_OK(plan_or.status());
+  auto plan = *plan_or;
+
+  // Off by default: zero bookkeeping, stats say so.
+  const MatrixF a = random_int_matrix(8, 64, rng);
+  MatrixF out(8, 64);
+  NMSPMM_ASSERT_OK(plan->run(a.view(), out.view()));
+  EXPECT_FALSE(plan->stats().perf.enabled);
+  EXPECT_EQ(plan->stats().perf.runs, 0u);
+
+  plan->set_profiling(true);
+  EXPECT_TRUE(plan->profiling());
+  for (int i = 0; i < 3; ++i) {
+    NMSPMM_ASSERT_OK(plan->run(a.view(), out.view()));
+  }
+  const model::ModelPlan::Stats stats = plan->stats();
+  EXPECT_TRUE(stats.perf.enabled);
+  if (stats.perf.supported) {
+    EXPECT_EQ(stats.perf.runs, 3u);
+    EXPECT_TRUE(stats.perf.gate.supported);
+    EXPECT_GT(stats.perf.gate.cycles, 0u);
+    EXPECT_GT(stats.perf.up.cycles, 0u);
+    EXPECT_GT(stats.perf.down.cycles, 0u);
+  } else {
+    // perf unavailable: profiling must be inert, not broken.
+    EXPECT_EQ(stats.perf.runs, 0u);
+    EXPECT_EQ(stats.perf.gate.cycles, 0u);
+  }
+
+  // Disabling stops accumulation but keeps what was measured.
+  plan->set_profiling(false);
+  NMSPMM_ASSERT_OK(plan->run(a.view(), out.view()));
+  const auto after = plan->stats();
+  EXPECT_FALSE(after.perf.enabled);
+  EXPECT_EQ(after.perf.runs, stats.perf.runs);
+}
+
+}  // namespace
+}  // namespace nmspmm
