@@ -1,0 +1,246 @@
+// End-to-end scenario: autoregressive decode through one full
+// Llama-style decoder layer with N:M-pruned projections — the workload
+// the decoder subsystem (src/model/decoder.hpp + src/attn/) serves.
+//
+//   a   = rmsnorm(x)            qkv = a Wqkv
+//   o   = attention(q, KV-cache, v)          (RoPE + GQA + online softmax)
+//   x1  = o Wo + x
+//   out = x1 + FFN(rmsnorm(x1))              (SwiGLU, fused epilogues)
+//
+// One Engine::plan_decoder call plans the whole pipeline: the RMSNorm
+// prologues and both residual adds ride the projections' fused stores,
+// and the paged KV cache is sized at plan time. Each step the fused
+// plan is checked bit-exactly (max |diff| == 0) against an unfused
+// reference — plain engine.spmm calls, shared rmsnorm_rows, a separate
+// DecodeAttention + KvCache, scalar silu_mul, manual residual adds —
+// at both 1 worker thread and 4, the repo's determinism discipline
+// extended to the full decoder layer. The decoded output feeds back as
+// the next step's input, so any divergence would compound and trip the
+// check immediately.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attn/attention.hpp"
+#include "core/nmspmm.hpp"
+#include "model/decoder.hpp"
+#include "util/timer.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace nmspmm;
+
+void silu_mul(MatrixF& gate, const MatrixF& up, index_t m) {
+  for (index_t i = 0; i < m; ++i) {
+    float* g = gate.row(i);
+    const float* u = up.row(i);
+    for (index_t j = 0; j < gate.cols(); ++j) {
+      g[j] = apply_activation(Activation::kSilu, g[j]) * u[j];
+    }
+  }
+}
+
+void add_rows(MatrixF& y, const MatrixF& x, index_t m) {
+  for (index_t i = 0; i < m; ++i) {
+    float* yi = y.row(i);
+    const float* xi = x.row(i);
+    for (index_t j = 0; j < y.cols(); ++j) yi[j] += xi[j];
+  }
+}
+
+std::vector<float> to_vector(const MatrixF& row) {
+  return std::vector<float>(row.row(0), row.row(0) + row.cols());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Scaled-down GQA decoder layer (the 70B-style 8x head grouping on a
+  // laptop-sized hidden dim); pass --steps N to decode longer.
+  const index_t hidden = 512;
+  const index_t head_dim = 64;
+  const index_t n_heads = 8;
+  const index_t n_kv_heads = 4;  // GQA: 2 query heads per KV head
+  const index_t ffn = 1376;
+  const index_t num_seqs = 4;
+  int steps = 32;
+  if (argc > 2 && std::string(argv[1]) == "--steps") steps = std::atoi(argv[2]);
+
+  attn::AttnConfig acfg;
+  acfg.n_heads = n_heads;
+  acfg.n_kv_heads = n_kv_heads;
+  acfg.head_dim = head_dim;
+  acfg.rope_theta = 10000.0f;
+  const index_t q_dim = acfg.q_dim();
+  const index_t kv_dim = acfg.kv_dim();
+  const NMConfig config{8, 32, 16};  // 75% sparsity
+
+  std::printf(
+      "Llama-style decoder layer: %lld seqs x %d steps, hidden %lld, "
+      "%lld heads / %lld KV heads x %lld, ffn %lld, %s\n",
+      static_cast<long long>(num_seqs), steps, static_cast<long long>(hidden),
+      static_cast<long long>(n_heads), static_cast<long long>(n_kv_heads),
+      static_cast<long long>(head_dim), static_cast<long long>(ffn),
+      config.to_string().c_str());
+
+  Rng rng(11);
+  MatrixF Wqkv = random_matrix(hidden, acfg.qkv_dim(), rng, -0.05f, 0.05f);
+  MatrixF Wo = random_matrix(q_dim, hidden, rng, -0.05f, 0.05f);
+  MatrixF Wg = random_matrix(hidden, ffn, rng, -0.05f, 0.05f);
+  MatrixF Wu = random_matrix(hidden, ffn, rng, -0.05f, 0.05f);
+  MatrixF Wd = random_matrix(ffn, hidden, rng, -0.05f, 0.05f);
+
+  Timer prep;
+  auto compress_nm = [&](const MatrixF& W) {
+    return std::make_shared<const CompressedNM>(
+        compress(W.view(), magnitude_mask(W.view(), config)));
+  };
+  model::DecoderLayer layer;
+  layer.attn = acfg;
+  layer.qkv = compress_nm(Wqkv);
+  layer.out_proj = compress_nm(Wo);
+  layer.attn_norm = to_vector(random_matrix(1, hidden, rng, 0.9f, 1.1f));
+  layer.ffn.gate = compress_nm(Wg);
+  layer.ffn.up = compress_nm(Wu);
+  layer.ffn.down = compress_nm(Wd);
+  layer.ffn.act = Activation::kSilu;
+  layer.ffn.input_norm = to_vector(random_matrix(1, hidden, rng, 0.9f, 1.1f));
+  layer.ffn.residual = true;
+
+  attn::KvCacheOptions kv_opt;
+  kv_opt.n_kv_heads = n_kv_heads;
+  kv_opt.head_dim = head_dim;
+  kv_opt.page_tokens = 16;
+  kv_opt.max_tokens = num_seqs * (static_cast<index_t>(steps) + 8);
+
+  // The same layer planned twice — strictly serial and on a 4-thread
+  // pool — plus the unfused reference state. plan_decoder copies the
+  // layer, so both plans and the reference share the weight objects.
+  EngineOptions serial_opt;
+  serial_opt.num_threads = 1;
+  EngineOptions pooled_opt;
+  pooled_opt.num_threads = 4;
+  Engine serial(serial_opt);
+  Engine pooled(pooled_opt);
+  auto plan1 = serial.plan_decoder(num_seqs, layer, kv_opt);
+  NMSPMM_CHECK_OK(plan1.status());
+  auto plan4 = pooled.plan_decoder(num_seqs, layer, kv_opt);
+  NMSPMM_CHECK_OK(plan4.status());
+  std::printf("offline pruning + compression + decoder plan: %.1f ms\n",
+              prep.millis());
+
+  attn::DecodeAttention ref_attn(acfg);
+  attn::KvCache ref_kv(kv_opt);
+
+  std::vector<std::uint64_t> ids(num_seqs);
+  for (index_t s = 0; s < num_seqs; ++s) {
+    ids[s] = static_cast<std::uint64_t>(s + 1);
+    NMSPMM_CHECK_OK((*plan1)->begin_sequence(ids[s]));
+    NMSPMM_CHECK_OK((*plan4)->begin_sequence(ids[s]));
+    NMSPMM_CHECK_OK(ref_kv.begin_sequence(ids[s]));
+  }
+
+  MatrixF x = random_matrix(num_seqs, hidden, rng, -0.5f, 0.5f);
+  MatrixF out1(num_seqs, hidden), out4(num_seqs, hidden);
+  // Unfused reference scratch.
+  MatrixF normed(num_seqs, hidden), qkv(num_seqs, acfg.qkv_dim());
+  MatrixF attn_o(num_seqs, q_dim), x1(num_seqs, hidden);
+  MatrixF normed2(num_seqs, hidden), gate(num_seqs, ffn), up(num_seqs, ffn);
+  MatrixF ref_out(num_seqs, hidden);
+  std::vector<Status> row_status(num_seqs);
+
+  double fused1_ms = 0.0, fused4_ms = 0.0;
+  double worst = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    Timer t1;
+    NMSPMM_CHECK_OK((*plan1)->decode(x.view(), ids.data(), out1.view(),
+                                     row_status.data()));
+    fused1_ms += t1.millis();
+    for (const Status& s : row_status) NMSPMM_CHECK_OK(s);
+    Timer t4;
+    NMSPMM_CHECK_OK((*plan4)->decode(x.view(), ids.data(), out4.view(),
+                                     row_status.data()));
+    fused4_ms += t4.millis();
+    for (const Status& s : row_status) NMSPMM_CHECK_OK(s);
+
+    // Unfused reference: plain projections, shared rmsnorm, per-sequence
+    // attention, manual residual adds.
+    rmsnorm_rows(x.cview(), layer.attn_norm.data(), layer.norm_eps,
+                 normed.view());
+    NMSPMM_CHECK_OK(serial.spmm(normed.cview(), layer.qkv, qkv.view()));
+    for (index_t s = 0; s < num_seqs; ++s) {
+      float* row = qkv.row(s);
+      NMSPMM_CHECK_OK(ref_attn.decode_step(ref_kv, ids[s], row, row + q_dim,
+                                           row + q_dim + kv_dim,
+                                           attn_o.row(s)));
+    }
+    NMSPMM_CHECK_OK(serial.spmm(attn_o.cview(), layer.out_proj, x1.view()));
+    add_rows(x1, x, num_seqs);
+    rmsnorm_rows(x1.cview(), layer.ffn.input_norm.data(), layer.ffn.norm_eps,
+                 normed2.view());
+    NMSPMM_CHECK_OK(serial.spmm(normed2.cview(), layer.ffn.gate, gate.view()));
+    NMSPMM_CHECK_OK(serial.spmm(normed2.cview(), layer.ffn.up, up.view()));
+    silu_mul(gate, up, num_seqs);
+    NMSPMM_CHECK_OK(serial.spmm(gate.cview(), layer.ffn.down, ref_out.view()));
+    add_rows(ref_out, x1, num_seqs);
+
+    const double d1 = max_abs_diff(out1.cview(), ref_out.cview());
+    const double d4 = max_abs_diff(out4.cview(), ref_out.cview());
+    worst = std::max({worst, d1, d4});
+    if (d1 != 0.0 || d4 != 0.0) {
+      std::fprintf(stderr,
+                   "step %d: fused decode diverged from the unfused "
+                   "reference (1-thread %.3g, 4-thread %.3g)\n",
+                   step, d1, d4);
+      return 1;
+    }
+
+    // Autoregressive feedback: this step's output is the next input.
+    for (index_t s = 0; s < num_seqs; ++s) {
+      std::copy_n(ref_out.row(s), hidden, x.row(s));
+    }
+  }
+
+  const double tokens = static_cast<double>(num_seqs) * steps;
+  std::printf(
+      "decode: %d steps x %lld seqs, context %d -> bit-exact vs unfused "
+      "reference at 1 and 4 threads (max |diff| = %.1f)\n",
+      steps, static_cast<long long>(num_seqs), steps, worst);
+  std::printf("fused decoder layer: %.0f tok/s serial, %.0f tok/s pooled\n",
+              tokens / (fused1_ms / 1e3), tokens / (fused4_ms / 1e3));
+
+  const model::DecoderPlan::Stats stats = (*plan1)->stats();
+  std::printf(
+      "resident: %.2f MB weights + %.2f MB packed + %.2f MB scratch + "
+      "%.2f MB KV cache (%llu pages, %llu tokens appended)\n",
+      static_cast<double>(stats.weight_bytes + stats.ffn.weight_bytes) / 1e6,
+      static_cast<double>(stats.packed_bytes + stats.ffn.packed_bytes) / 1e6,
+      static_cast<double>(stats.scratch_bytes + stats.ffn.scratch_bytes) / 1e6,
+      static_cast<double>(stats.kv.resident_bytes) / 1e6,
+      static_cast<unsigned long long>(stats.kv.pages_allocated),
+      static_cast<unsigned long long>(stats.kv.appended_tokens));
+
+  // Sequence lifecycle: freeing returns pages to the cache's free list;
+  // fresh sequences then decode without allocating.
+  for (index_t s = 0; s < num_seqs; ++s) {
+    NMSPMM_CHECK_OK((*plan1)->free_sequence(ids[s]));
+  }
+  for (index_t s = 0; s < num_seqs; ++s) {
+    NMSPMM_CHECK_OK((*plan1)->begin_sequence(100 + ids[s]));
+    ids[s] = 100 + ids[s];
+  }
+  for (int step = 0; step < 4; ++step) {
+    NMSPMM_CHECK_OK((*plan1)->decode(x.view(), ids.data(), out1.view(),
+                                     row_status.data()));
+    for (const Status& s : row_status) NMSPMM_CHECK_OK(s);
+  }
+  const auto kv2 = (*plan1)->stats().kv;
+  std::printf(
+      "after free + 4 fresh sequences: %llu pages recycled, resident KV "
+      "unchanged at %.2f MB\n",
+      static_cast<unsigned long long>(kv2.pages_recycled),
+      static_cast<double>(kv2.resident_bytes) / 1e6);
+  return 0;
+}

@@ -128,6 +128,26 @@ def main(argv=None):
         print(f"{tag} model fused vs unfused: {fm['fused_speedup']:.3f}x "
               "[warn-only]")
 
+    # Decoder-layer decode throughput: tokens/s per context-length point
+    # (bench_decode), matched by context depth. Attention cost grows with
+    # context, so each depth is its own quantity and gates like a kernel
+    # variant: hard on a same-CPU baseline, advisory across machines.
+    bd = {p.get("context"): p
+          for p in base.get("model_decode", {}).get("points", [])}
+    for p in fresh.get("model_decode", {}).get("points", []):
+        ctx = p.get("context")
+        was = bd.get(ctx, {}).get("tokens_per_s")
+        now = p.get("tokens_per_s")
+        if not was or now is None:
+            if ctx is not None:
+                print(f"WARN: model_decode context {ctx} has no baseline; "
+                      "skipping")
+            continue
+        delta = (now - was) / was
+        judge(delta,
+              f"model_decode ctx {ctx}: {was:.0f} -> {now:.0f} tokens/s "
+              f"({delta:+.1%})")
+
     # Open-loop tail latency: the serving_open gate block carries the
     # mid-load per-class p99 plus the offered rate it was measured at.
     # p99 at a *different* offered load is a different quantity, so the

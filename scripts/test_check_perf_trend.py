@@ -25,7 +25,8 @@ def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
              prefill_p99_us=20000, bursty_offered_rps=1000.0,
              bursty_decode_p99_us=4000, submit_4t_rps=20000.0,
              overload_offered_rps=1500.0, overload_shed_p99_us=3000,
-             overload_block_p99_us=8000, trace_ratio=0.99):
+             overload_block_p99_us=8000, trace_ratio=0.99,
+             decode_tok_s=5000.0):
     return {
         "bench": "bench_resident",
         "schema_version": 2,
@@ -38,6 +39,15 @@ def artifact(cpu="Test CPU v1", v3=100.0, requests_per_s=5000.0,
         ],
         "serving": {"requests_per_s": requests_per_s},
         "model": {"fused_ms": fused_ms, "fused_speedup": 1.2},
+        "model_decode": {"hidden": 512, "seqs": 4, "threads": 1,
+                         "points": [
+                             {"context": 32, "tokens_per_s": decode_tok_s},
+                             {"context": 128,
+                              "tokens_per_s": decode_tok_s * 0.8},
+                         ],
+                         "kv_resident_bytes": 2621440,
+                         "kv_pages": 20,
+                         "kv_bytes_per_token": 2048},
         "serving_open": {
             "schema_version": 1,
             "gate": {"offered_rps": offered_rps,
@@ -283,6 +293,32 @@ class CheckPerfTrendTest(unittest.TestCase):
         self.write(self.baseline, base)
         self.write(self.fresh, artifact(bursty_decode_p99_us=99999,
                                         submit_4t_rps=1.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_model_decode_regression_fails_on_same_cpu(self):
+        self.write(self.baseline, artifact())
+        self.write(self.fresh, artifact(decode_tok_s=3000.0))  # -40%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_model_decode_warns_only_across_cpus(self):
+        self.write(self.baseline, artifact(cpu="Other CPU"))
+        self.write(self.fresh, artifact(decode_tok_s=3000.0))
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_model_decode_new_context_point_is_skipped(self):
+        base = artifact()
+        base["model_decode"]["points"] = [
+            {"context": 32, "tokens_per_s": 5000.0}]
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(decode_tok_s=5000.0))
+        # The ctx-128 point has no baseline: warn and skip, don't fail.
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_baseline_without_model_decode_section_is_skipped(self):
+        base = artifact()
+        del base["model_decode"]
+        self.write(self.baseline, base)
+        self.write(self.fresh, artifact(decode_tok_s=1.0))
         self.assertEqual(self.run_gate(), 0)
 
     def test_trace_overhead_below_097_fails_even_across_cpus(self):

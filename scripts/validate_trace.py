@@ -28,8 +28,13 @@ import json
 import re
 import sys
 
-SPAN_NAMES = {"submit", "queue", "gather", "execute", "total", "repack"}
-CATEGORIES = {"decode", "prefill", "serve", "mem"}
+SPAN_NAMES = {"submit", "queue", "gather", "execute", "total", "repack",
+              "attn", "kv_append"}
+CATEGORIES = {"decode", "prefill", "serve", "mem", "attn"}
+# Batch-window events: recorded per executed batch, not per request, so
+# they carry no meaningful trace_id and stay out of the per-request
+# stage reconciliation below.
+WINDOW_NAMES = {"repack", "attn", "kv_append"}
 FLUSHES = {"full", "timeout", "slo", "shutdown", "-"}
 LANES = {"-", "bypass", "coalesce", "split"}
 TARGET_RE = re.compile(r"^0x[0-9a-f]+$")
@@ -87,13 +92,18 @@ def validate_trace(path, min_spans, skew_us, errors):
                           f"got {args.get('target')!r}")
         if not isinstance(args.get("rows"), int):
             errors.append(f"{where}: args.rows must be an integer")
-        detail_key = "bytes" if name == "repack" else "repacks"
+        if name in ("repack", "kv_append"):
+            detail_key = "bytes"
+        elif name == "attn":
+            detail_key = "tokens"
+        else:
+            detail_key = "repacks"
         if not isinstance(args.get(detail_key), int):
             errors.append(f"{where}: args.{detail_key} must be an integer")
         trace_id = args.get("trace_id")
-        if name != "repack" and not isinstance(trace_id, int):
+        if name not in WINDOW_NAMES and not isinstance(trace_id, int):
             errors.append(f"{where}: args.trace_id must be an integer")
-        if isinstance(trace_id, int) and name in SPAN_NAMES - {"repack"}:
+        if isinstance(trace_id, int) and name in SPAN_NAMES - WINDOW_NAMES:
             by_request.setdefault(trace_id, {})[name] = ev["dur"]
 
     stages = ("submit", "queue", "gather", "execute")

@@ -1,0 +1,162 @@
+#include "attn/kv_cache.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "util/numa_alloc.hpp"
+
+namespace nmspmm::attn {
+
+Status KvCacheOptions::validate() const {
+  std::ostringstream os;
+  if (n_kv_heads < 1) {
+    os << "KvCacheOptions.n_kv_heads must be >= 1, got " << n_kv_heads;
+    return Status::InvalidArgument(os.str());
+  }
+  if (head_dim < 1) {
+    os << "KvCacheOptions.head_dim must be >= 1, got " << head_dim;
+    return Status::InvalidArgument(os.str());
+  }
+  if (page_tokens < 1) {
+    os << "KvCacheOptions.page_tokens must be >= 1, got " << page_tokens;
+    return Status::InvalidArgument(os.str());
+  }
+  if (max_tokens < 1) {
+    os << "KvCacheOptions.max_tokens must be >= 1, got " << max_tokens;
+    return Status::InvalidArgument(os.str());
+  }
+  return Status::Ok();
+}
+
+KvCache::KvCache(KvCacheOptions options) : options_(options) {
+  NMSPMM_CHECK_OK(options_.validate());
+  page_floats_ =
+      2 * static_cast<std::size_t>(options_.page_tokens * token_row());
+  capacity_pages_ =
+      (options_.max_tokens + options_.page_tokens - 1) / options_.page_tokens;
+  stats_.capacity_pages = capacity_pages_;
+  stats_.page_bytes = page_floats_ * sizeof(float);
+}
+
+Status KvCache::begin_sequence(std::uint64_t seq_id) {
+  auto [it, inserted] = seqs_.try_emplace(seq_id);
+  if (!inserted) {
+    std::ostringstream os;
+    os << "sequence " << seq_id << " is already live (begin_sequence called "
+       << "twice without free_sequence)";
+    return Status::FailedPrecondition(os.str());
+  }
+  (void)it;
+  stats_.live_sequences = seqs_.size();
+  return Status::Ok();
+}
+
+Status KvCache::free_sequence(std::uint64_t seq_id) {
+  auto it = seqs_.find(seq_id);
+  if (it == seqs_.end()) {
+    std::ostringstream os;
+    os << "sequence " << seq_id << " is not live (double free, or freeing a "
+       << "sequence that was never begun)";
+    return Status::FailedPrecondition(os.str());
+  }
+  // Eviction: the finished sequence's pages go to the free list intact;
+  // the next allocating append recycles them without touching the
+  // allocator (or the page's NUMA placement).
+  for (auto& page : it->second.pages) {
+    free_pages_.push_back(std::move(page));
+  }
+  pages_in_use_ -= static_cast<index_t>(it->second.pages.size());
+  seqs_.erase(it);
+  stats_.live_sequences = seqs_.size();
+  ++stats_.freed_sequences;
+  return Status::Ok();
+}
+
+bool KvCache::has_sequence(std::uint64_t seq_id) const {
+  return seqs_.count(seq_id) != 0;
+}
+
+StatusOr<index_t> KvCache::seq_len(std::uint64_t seq_id) const {
+  auto it = seqs_.find(seq_id);
+  if (it == seqs_.end()) {
+    std::ostringstream os;
+    os << "unknown sequence " << seq_id;
+    return Status::NotFound(os.str());
+  }
+  return it->second.len;
+}
+
+bool KvCache::ensure_tail_page(Sequence& seq) {
+  if (seq.len < static_cast<index_t>(seq.pages.size()) * options_.page_tokens) {
+    return true;  // tail page still has room
+  }
+  std::unique_ptr<float[]> page;
+  if (!free_pages_.empty()) {
+    page = std::move(free_pages_.back());
+    free_pages_.pop_back();
+    ++stats_.pages_recycled;
+  } else {
+    if (pages_in_use_ >= capacity_pages_) return false;
+    page.reset(new float[page_floats_]);
+    // First-touch placement: fault the page in from this (appending)
+    // thread so it lands on the node that will stream it every decode
+    // step. Also zeroes the K/V rows the sequence has not reached yet.
+    numa::first_touch_zero(page.get(), page_floats_ * sizeof(float));
+    ++stats_.pages_allocated;
+    stats_.resident_bytes += page_floats_ * sizeof(float);
+    stats_.numa_node = numa::node_of(page.get());
+  }
+  seq.page_ptrs.push_back(page.get());
+  seq.pages.push_back(std::move(page));
+  ++pages_in_use_;
+  return true;
+}
+
+Status KvCache::append(std::uint64_t seq_id, const float* k, const float* v) {
+  auto it = seqs_.find(seq_id);
+  if (it == seqs_.end()) {
+    std::ostringstream os;
+    os << "unknown sequence " << seq_id << "; begin_sequence it first";
+    return Status::NotFound(os.str());
+  }
+  Sequence& seq = it->second;
+  if (!ensure_tail_page(seq)) {
+    std::ostringstream os;
+    os << "KV cache capacity exhausted appending to sequence " << seq_id
+       << ": all " << capacity_pages_ << " pages ("
+       << capacity_pages_ * options_.page_tokens
+       << " tokens) are live; free finished sequences and retry";
+    return Status::ResourceExhausted(os.str());
+  }
+  const index_t row = token_row();
+  const index_t slot = seq.len % options_.page_tokens;
+  float* page = seq.pages.back().get();
+  std::memcpy(page + slot * row, k, static_cast<std::size_t>(row) *
+                                        sizeof(float));
+  std::memcpy(page + (options_.page_tokens + slot) * row, v,
+              static_cast<std::size_t>(row) * sizeof(float));
+  ++seq.len;
+  ++stats_.appended_tokens;
+  stats_.appended_bytes += 2 * static_cast<std::size_t>(row) * sizeof(float);
+  return Status::Ok();
+}
+
+StatusOr<KvCache::SeqView> KvCache::view(std::uint64_t seq_id) const {
+  auto it = seqs_.find(seq_id);
+  if (it == seqs_.end()) {
+    std::ostringstream os;
+    os << "unknown sequence " << seq_id;
+    return Status::NotFound(os.str());
+  }
+  SeqView v;
+  v.len = it->second.len;
+  v.page_tokens = options_.page_tokens;
+  v.row = token_row();
+  v.pages = it->second.page_ptrs.data();
+  return v;
+}
+
+KvCache::Stats KvCache::stats() const { return stats_; }
+
+}  // namespace nmspmm::attn

@@ -38,7 +38,13 @@ namespace nmspmm {
 namespace model {
 struct FfnBlock;
 class ModelPlan;
+struct DecoderLayer;
+class DecoderPlan;
 }  // namespace model
+
+namespace attn {
+struct KvCacheOptions;
+}  // namespace attn
 
 struct EngineOptions {
   /// Worker threads shared by every plan this engine builds.
@@ -110,6 +116,19 @@ class Engine {
   StatusOr<std::shared_ptr<model::ModelPlan>> plan_model(
       index_t max_tokens, std::vector<model::FfnBlock> blocks,
       SpmmOptions options = {});
+
+  /// Plan one full decoder layer (src/model/decoder.hpp) serving decode
+  /// batches of up to @p max_batch sequences: QKV and output-projection
+  /// plans out of this engine's plan cache (attn_norm prologue and the
+  /// attention residual fused into their stores), a paged KV cache
+  /// sized by @p kv_options (its n_kv_heads / head_dim are taken from
+  /// the layer's attention geometry — callers pick only page_tokens and
+  /// max_tokens), and the FFN tail as a nested plan_model. @p options
+  /// seeds every projection's SpmmOptions; its epilogue and prologue
+  /// members must be inactive. Defined in src/model/decoder.cpp.
+  StatusOr<std::shared_ptr<model::DecoderPlan>> plan_decoder(
+      index_t max_batch, model::DecoderLayer layer,
+      attn::KvCacheOptions kv_options, SpmmOptions options = {});
 
   struct CacheStats {
     std::uint64_t hits = 0;

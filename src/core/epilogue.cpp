@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/reduce.hpp"
 #include "util/hash.hpp"
 
 namespace nmspmm {
@@ -22,6 +23,22 @@ std::size_t hash_value(const EpilogueSpec& spec) {
   hash_combine(h, spec.act_on_other ? 1u : 0u);
   hash_combine(h, spec.add ? 1u : 0u);
   return h;
+}
+
+std::size_t hash_value(const PrologueSpec& spec) {
+  std::size_t h = spec.rmsnorm ? 1u : 0u;
+  hash_combine(h, static_cast<std::size_t>(std::bit_cast<std::uint32_t>(
+                      spec.eps)));
+  return h;
+}
+
+Status validate_prologue(const PrologueSpec& spec, const EpilogueArgs& args) {
+  if (spec.rmsnorm && args.rms_gain == nullptr) {
+    return Status::InvalidArgument(
+        "prologue spec requires an RMSNorm gain but EpilogueArgs::rms_gain "
+        "is null");
+  }
+  return Status::Ok();
 }
 
 Status validate_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
@@ -77,6 +94,25 @@ void apply_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
     epi.shifted(i0, 0).apply_tile(std::min<index_t>(8, C.rows() - i0),
                                   C.row(i0), C.ld(),
                                   static_cast<int>(C.cols()));
+  }
+}
+
+void rmsnorm_rows(ConstViewF x, const float* gain, float eps, ViewF out) {
+  NMSPMM_CHECK(gain != nullptr);
+  NMSPMM_CHECK_MSG(out.rows() == x.rows() && out.cols() == x.cols(),
+                   "rmsnorm output is " << out.rows() << "x" << out.cols()
+                                        << " but input is " << x.rows() << "x"
+                                        << x.cols());
+  const auto k = x.cols();
+  for (index_t i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row(i);
+    float* oi = out.row(i);
+    const float ss = simd::sumsq(xi, k);
+    const float inv = 1.0f / std::sqrt(ss / static_cast<float>(k) + eps);
+    // Fixed association (x * inv) * gain: elementwise multiplies are
+    // exact-deterministic, so the compiler may vectorize this freely
+    // without breaking cross-build bit-exactness.
+    for (index_t j = 0; j < k; ++j) oi[j] = (xi[j] * inv) * gain[j];
   }
 }
 

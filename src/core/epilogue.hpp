@@ -140,6 +140,29 @@ struct EpilogueSpec {
 
 std::size_t hash_value(const EpilogueSpec& spec);
 
+/// Structural half of the prologue: a normalization applied to the A
+/// operand before the kernels read it. The decoder-layer shape this
+/// serves is pre-norm attention/FFN: the projection consumes
+/// rmsnorm(x) while the residual stream stays the *unnormalized* x —
+/// folding the norm into the plan means no caller ever materializes a
+/// normalized copy, so the residual path stays fused end to end.
+/// Like EpilogueSpec this is structural and hashed into the plan-cache
+/// key; the per-feature gain operand rides EpilogueArgs per execute().
+struct PrologueSpec {
+  /// RMS-normalize each row of A over its k features before the SpMM:
+  ///   a'[i][j] = (a[i][j] * inv_rms(a_i)) * gain[j]
+  ///   inv_rms(x) = 1 / sqrt(mean_j(x[j]^2) + eps)
+  /// with gain = EpilogueArgs::rms_gain (length k).
+  bool rmsnorm = false;
+  /// Variance floor of the normalizer (Llama-family default).
+  float eps = 1e-5f;
+
+  [[nodiscard]] bool active() const { return rmsnorm; }
+  friend bool operator==(const PrologueSpec&, const PrologueSpec&) = default;
+};
+
+std::size_t hash_value(const PrologueSpec& spec);
+
 /// Runtime operands bound to an EpilogueSpec at execute() time.
 struct EpilogueArgs {
   /// Per-column bias, length n (required iff spec.bias).
@@ -150,6 +173,11 @@ struct EpilogueArgs {
   /// Residual operand, same shape as C (required iff spec.add). Must not
   /// alias C for the same reason as other.
   ConstViewF residual;
+  /// Per-feature RMSNorm gain, length k (required iff the plan's
+  /// PrologueSpec has rmsnorm). Rides the same per-execute operand
+  /// bundle as the epilogue pointers so one cached plan serves any gain
+  /// instance.
+  const float* rms_gain = nullptr;
 };
 
 /// Check @p args supplies what @p spec needs for an m x n output; returns
@@ -157,11 +185,24 @@ struct EpilogueArgs {
 Status validate_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
                          index_t m, index_t n);
 
+/// Check @p args supplies the gain @p spec needs for a depth-k A operand;
+/// returns InvalidArgument with a specific message otherwise.
+Status validate_prologue(const PrologueSpec& spec, const EpilogueArgs& args);
+
 /// Unfused reference: apply the epilogue recipe as a separate pass over
 /// @p C (which holds the plain accumulated product). The oracle for the
 /// fused path, and the fallback for the kReference kernel variant.
 void apply_epilogue(const EpilogueSpec& spec, const EpilogueArgs& args,
                     ViewF C);
+
+/// Canonical RMSNorm over rows: out[i][j] = (x[i][j] * inv_rms(x_i)) *
+/// gain[j]. The single implementation behind the plan prologue, the
+/// decoder's QKV/FFN norms, and the unfused reference pipelines — all
+/// callers share one op sequence, so fused-vs-unfused comparisons stay
+/// bit-exact. The sum of squares goes through the deterministic 16-lane
+/// reduction (core/reduce.hpp), so the result is also identical across
+/// scalar/AVX2/AVX-512 builds. @p out may alias @p x (in-place).
+void rmsnorm_rows(ConstViewF x, const float* gain, float eps, ViewF out);
 
 namespace detail {
 

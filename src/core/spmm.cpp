@@ -15,6 +15,7 @@ std::size_t hash_value(const SpmmOptions& o) {
   hash_combine(h, o.rescale ? 1u : 0u);
   hash_combine(h, o.num_threads);
   hash_combine(h, hash_value(o.epilogue));
+  hash_combine(h, hash_value(o.prologue));
   hash_combine(h, static_cast<std::size_t>(o.residency));
   if (o.params) {
     const BlockingParams& p = *o.params;
@@ -147,6 +148,28 @@ Status SpmmPlan::execute(ConstViewF A, ViewF C,
   }
   NMSPMM_RETURN_IF_ERROR(validate_epilogue(options_.epilogue, epilogue_args,
                                            C.rows(), C.cols()));
+  NMSPMM_RETURN_IF_ERROR(
+      validate_prologue(options_.prologue, epilogue_args));
+  if (options_.prologue.active() && !A.empty()) {
+    // RMSNorm prologue: normalize A into thread-local staging and hand
+    // the kernels the normalized view. Thread-local (not plan-owned) so
+    // concurrent executes of one shared plan never share scratch, and
+    // grow-only like the kernels' own A staging. The caller's A — the
+    // residual stream a pre-norm decoder layer adds back later — is
+    // left untouched.
+    thread_local MatrixF normed;
+    if (normed.rows() < A.rows() || normed.cols() < A.cols()) {
+      try {
+        normed = MatrixF(std::max(normed.rows(), A.rows()),
+                         std::max(normed.cols(), A.cols()));
+      } catch (const std::bad_alloc& e) {
+        return Status::ResourceExhausted(e.what());
+      }
+    }
+    ViewF staged = normed.view().block(0, 0, A.rows(), A.cols());
+    rmsnorm_rows(A, epilogue_args.rms_gain, options_.prologue.eps, staged);
+    A = staged;
+  }
   if (options_.variant == KernelVariant::kReference && !B.has_values()) {
     return Status::FailedPrecondition(
         "this plan's weights were values-stripped (packed-only residency); "

@@ -68,6 +68,12 @@ struct SpmmOptions {
   /// EpilogueArgs). Incompatible with rescale (the scale would land
   /// after the nonlinearity instead of before it).
   EpilogueSpec epilogue;
+  /// Pre-op applied to the A operand before the kernels read it
+  /// (RMSNorm — see core/epilogue.hpp). Structural only: the per-feature
+  /// gain is bound per call via EpilogueArgs::rms_gain. The normalized
+  /// rows land in thread-local staging, so the caller's A (the residual
+  /// stream) is never rewritten.
+  PrologueSpec prologue;
   /// Weight residency of the plan (mem/weight_store.hpp). kPackedOnly
   /// releases the original B' value buffer after pre-packing, serving
   /// from the packed form alone (~1x packed footprint); the reference

@@ -49,6 +49,13 @@ Status FfnBlock::validate() const {
       down_bias.size() != static_cast<std::size_t>(hidden_out())) {
     return bias_width_error("down", down_bias.size(), hidden_out());
   }
+  if (!input_norm.empty() &&
+      input_norm.size() != static_cast<std::size_t>(hidden_in())) {
+    std::ostringstream os;
+    os << "input_norm gain has " << input_norm.size()
+       << " entries but the block consumes " << hidden_in() << " features";
+    return Status::InvalidArgument(os.str());
+  }
   if (residual && hidden_in() != hidden_out()) {
     std::ostringstream os;
     os << "residual connection requires hidden_in == hidden_out, got "
@@ -112,10 +119,16 @@ Status ModelPlan::run(ConstViewF A, ViewF out) {
     const LayerPlans& plans = plans_[b];
     const index_t ffn = block.ffn_dim();
 
-    // gate = A Wg (+ bg), bias fused into the projection's stores.
+    // gate = A Wg (+ bg), bias fused into the projection's stores. An
+    // input_norm gain rides the plans' RMSNorm prologue: gate and up
+    // consume rmsnorm(x) while x itself — the residual operand below —
+    // stays unnormalized.
+    const float* norm_gain =
+        block.input_norm.empty() ? nullptr : block.input_norm.data();
     const ViewF gate = gate_buf_.view().block(0, 0, m, ffn);
     EpilogueArgs gate_args;
     gate_args.bias = block.gate_bias.empty() ? nullptr : block.gate_bias.data();
+    gate_args.rms_gain = norm_gain;
     NMSPMM_RETURN_IF_ERROR(
         timed(0, [&] { return plans.gate->execute(x, gate, gate_args); }));
 
@@ -126,6 +139,7 @@ Status ModelPlan::run(ConstViewF A, ViewF out) {
     EpilogueArgs up_args;
     up_args.bias = block.up_bias.empty() ? nullptr : block.up_bias.data();
     up_args.other = gate;
+    up_args.rms_gain = norm_gain;
     NMSPMM_RETURN_IF_ERROR(
         timed(1, [&] { return plans.up->execute(x, h, up_args); }));
 
@@ -224,10 +238,10 @@ StatusOr<std::shared_ptr<model::ModelPlan>> Engine::plan_model(
   if (blocks.empty()) {
     return Status::InvalidArgument("plan_model needs at least one FfnBlock");
   }
-  if (options.epilogue.active()) {
+  if (options.epilogue.active() || options.prologue.active()) {
     return Status::InvalidArgument(
-        "plan_model owns the per-layer epilogues; pass options with an "
-        "inactive EpilogueSpec");
+        "plan_model owns the per-layer epilogues and prologues; pass "
+        "options with inactive Epilogue/PrologueSpecs");
   }
   index_t max_ffn = 0;
   index_t max_hidden = 0;
@@ -255,6 +269,8 @@ StatusOr<std::shared_ptr<model::ModelPlan>> Engine::plan_model(
     SpmmOptions gate_opt = options;
     gate_opt.epilogue = EpilogueSpec{};
     gate_opt.epilogue.bias = !block.gate_bias.empty();
+    gate_opt.prologue.rmsnorm = !block.input_norm.empty();
+    gate_opt.prologue.eps = block.norm_eps;
     auto gate = plan_for(max_tokens, block.gate, gate_opt);
     NMSPMM_RETURN_IF_ERROR(gate.status());
     layer.gate = *gate;
@@ -267,6 +283,8 @@ StatusOr<std::shared_ptr<model::ModelPlan>> Engine::plan_model(
     up_opt.epilogue.bias = !block.up_bias.empty();
     up_opt.epilogue.mul = true;
     up_opt.epilogue.act_on_other = true;
+    up_opt.prologue.rmsnorm = !block.input_norm.empty();
+    up_opt.prologue.eps = block.norm_eps;
     auto up = plan_for(max_tokens, block.up, up_opt);
     NMSPMM_RETURN_IF_ERROR(up.status());
     layer.up = *up;

@@ -59,6 +59,16 @@ struct FfnBlock {
   std::vector<float> down_bias;
   /// Gating activation (SwiGLU uses SiLU; GEGLU uses GELU).
   Activation act = Activation::kSilu;
+  /// Optional pre-norm: empty, or a hidden_in-wide RMSNorm gain. When
+  /// set, the gate and up projections consume rmsnorm(x) through their
+  /// plans' PrologueSpec (each normalizes its thread-local staging copy
+  /// — at decode batch sizes the duplicate O(m*hidden) pass is noise)
+  /// while the residual connection still adds the *unnormalized* x, the
+  /// pre-norm transformer shape. The caller never materializes a
+  /// normalized activation buffer.
+  std::vector<float> input_norm;
+  /// Variance floor of the input_norm normalizer.
+  float norm_eps = 1e-5f;
   /// Fuse the transformer residual connection into the down-projection:
   /// out = (h Wd + bd) + x, where x is the block's input. Rides the
   /// epilogue's residual-add in the final k-chunk's stores instead of a

@@ -42,6 +42,8 @@ void unpack_attrs(std::uint64_t w5, TraceSpan& s) {
 
 std::atomic<TraceRecorder*> g_recorder{nullptr};
 std::atomic<std::uint64_t> g_repack_events{0};
+std::atomic<std::uint64_t> g_attn_events{0};
+std::atomic<std::uint64_t> g_kv_append_events{0};
 
 }  // namespace
 
@@ -59,6 +61,10 @@ const char* to_string(SpanKind kind) {
       return "total";
     case SpanKind::kRepack:
       return "repack";
+    case SpanKind::kAttn:
+      return "attn";
+    case SpanKind::kKvAppend:
+      return "kv_append";
     case SpanKind::kCount:
       break;
   }
@@ -211,6 +217,8 @@ void append_chrome_events(const std::vector<TraceSpan>& spans,
     const char* cat = "serve";
     if (s.kind == SpanKind::kRepack) {
       cat = "mem";
+    } else if (s.kind == SpanKind::kAttn || s.kind == SpanKind::kKvAppend) {
+      cat = "attn";
     } else if (s.cls == 0) {
       cat = "decode";
     } else if (s.cls == 1) {
@@ -243,8 +251,12 @@ void append_chrome_events(const std::vector<TraceSpan>& spans,
       default:
         break;
     }
-    const char* detail_key =
-        s.kind == SpanKind::kRepack ? "bytes" : "repacks";
+    const char* detail_key = "repacks";
+    if (s.kind == SpanKind::kRepack || s.kind == SpanKind::kKvAppend) {
+      detail_key = "bytes";
+    } else if (s.kind == SpanKind::kAttn) {
+      detail_key = "tokens";  // total context tokens attended this batch
+    }
     std::snprintf(buf, sizeof(buf),
                   "\"flush\":\"%s\",\"lane\":\"%s\","
                   "\"target\":\"0x%llx\",\"%s\":%llu}}",
@@ -290,18 +302,50 @@ std::uint64_t repack_events() {
   return g_repack_events.load(std::memory_order_relaxed);
 }
 
-void count_repack_event(std::uint64_t bytes, std::uint64_t dur_us) {
-  g_repack_events.fetch_add(1, std::memory_order_relaxed);
+namespace {
+
+// Shared tail of the count_*_event hooks: a just-finished window of
+// @p dur_us becomes a span ending now in the global recorder.
+void record_window(SpanKind kind, std::uint32_t rows, std::uint64_t detail,
+                   std::uint64_t dur_us) {
   if (TraceRecorder* recorder = global_recorder()) {
     TraceSpan span;
-    span.kind = SpanKind::kRepack;
+    span.kind = kind;
     span.dur_us = dur_us;
     const std::uint64_t now = recorder->now_us();
     span.ts_us = now > dur_us ? now - dur_us : 0;
-    span.detail = bytes;
+    span.detail = detail;
+    span.rows = rows;
     span.shard = 0xffff;
     recorder->record(span);
   }
+}
+
+}  // namespace
+
+void count_repack_event(std::uint64_t bytes, std::uint64_t dur_us) {
+  g_repack_events.fetch_add(1, std::memory_order_relaxed);
+  record_window(SpanKind::kRepack, 0, bytes, dur_us);
+}
+
+std::uint64_t attn_events() {
+  return g_attn_events.load(std::memory_order_relaxed);
+}
+
+std::uint64_t kv_append_events() {
+  return g_kv_append_events.load(std::memory_order_relaxed);
+}
+
+void count_attn_event(std::uint32_t rows, std::uint64_t context_tokens,
+                      std::uint64_t dur_us) {
+  g_attn_events.fetch_add(1, std::memory_order_relaxed);
+  record_window(SpanKind::kAttn, rows, context_tokens, dur_us);
+}
+
+void count_kv_append_event(std::uint32_t rows, std::uint64_t bytes,
+                           std::uint64_t dur_us) {
+  g_kv_append_events.fetch_add(1, std::memory_order_relaxed);
+  record_window(SpanKind::kKvAppend, rows, bytes, dur_us);
 }
 
 }  // namespace nmspmm::obs

@@ -46,7 +46,9 @@
 namespace nmspmm::obs {
 
 /// What a span measures. The first five mirror serve::Stage; kRepack is
-/// a WeightStore repack-on-demand rebuild.
+/// a WeightStore repack-on-demand rebuild; kAttn / kKvAppend are the
+/// decoder plan's per-batch attention and KV-append windows (the
+/// non-SpMM work inside a decode execute).
 enum class SpanKind : std::uint8_t {
   kSubmit = 0,
   kQueue,
@@ -54,6 +56,8 @@ enum class SpanKind : std::uint8_t {
   kExecute,
   kTotal,
   kRepack,
+  kAttn,
+  kKvAppend,
   kCount,
 };
 inline constexpr int kNumSpanKinds = static_cast<int>(SpanKind::kCount);
@@ -183,5 +187,21 @@ void clear_global_recorder(TraceRecorder* recorder);
 /// span into the global recorder when one is installed. Called by
 /// mem::WeightStore; lock-free.
 void count_repack_event(std::uint64_t bytes, std::uint64_t dur_us);
+
+/// Monotone process-wide counts of decoder attention / KV-append
+/// windows (one each per decode batch), mirroring repack_events().
+[[nodiscard]] std::uint64_t attn_events();
+[[nodiscard]] std::uint64_t kv_append_events();
+
+/// Count one per-batch attention window over @p rows sequences totalling
+/// @p context_tokens of attended context, and emit a kAttn span into the
+/// global recorder when one is installed. Called by model::DecoderPlan.
+void count_attn_event(std::uint32_t rows, std::uint64_t context_tokens,
+                      std::uint64_t dur_us);
+
+/// Count one per-batch KV-append window that wrote @p bytes of K/V
+/// payload for @p rows sequences, and emit a kKvAppend span likewise.
+void count_kv_append_event(std::uint32_t rows, std::uint64_t bytes,
+                           std::uint64_t dur_us);
 
 }  // namespace nmspmm::obs

@@ -42,6 +42,9 @@ struct BatchRequest {
   /// Nonzero when this request was sampled for span tracing
   /// (obs/trace.hpp); the id ties its per-stage spans together.
   std::uint64_t trace_id = 0;
+  /// Decode requests only (Server::submit_decode): the KV-cache
+  /// sequence this token row extends.
+  std::uint64_t seq_id = 0;
 
   [[nodiscard]] bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();

@@ -101,7 +101,7 @@ std::uint8_t trace_cls_byte(serve::RequestClass cls) {
 std::size_t Server::GroupKeyHash::operator()(
     const GroupKey& k) const noexcept {
   std::size_t h = std::hash<const void*>{}(k.target);
-  hash_combine(h, k.ffn ? 1u : 0u);
+  hash_combine(h, static_cast<unsigned>(k.kind));
   hash_combine(h, hash_value(k.options));
   return h;
 }
@@ -236,9 +236,9 @@ std::future<Status> Server::submit(ConstViewF A,
   // Requests batch only when one plan serves them all: normalize the
   // thread count exactly as the engine does for its cache key.
   options.num_threads = engine_.normalized_num_threads();
-  GroupKey key{B.get(), /*ffn=*/false, options};
-  return enqueue(std::move(key), std::move(B), nullptr, A, C, deadline_us,
-                 submitted, std::move(done), std::move(result));
+  GroupKey key{B.get(), TargetKind::kSpmm, options};
+  return enqueue(std::move(key), std::move(B), nullptr, nullptr, A, C,
+                 deadline_us, submitted, std::move(done), std::move(result));
 }
 
 std::future<Status> Server::submit_ffn(ConstViewF A,
@@ -275,20 +275,57 @@ std::future<Status> Server::submit_ffn(ConstViewF A,
     done.set_value(Status::FailedPrecondition(os.str()));
     return result;
   }
-  GroupKey key{plan.get(), /*ffn=*/true, SpmmOptions{}};
-  return enqueue(std::move(key), nullptr, std::move(plan), A, out,
+  GroupKey key{plan.get(), TargetKind::kFfn, SpmmOptions{}};
+  return enqueue(std::move(key), nullptr, std::move(plan), nullptr, A, out,
                  deadline_us, submitted, std::move(done), std::move(result));
+}
+
+std::future<Status> Server::submit_decode(
+    std::uint64_t seq_id, ConstViewF A,
+    std::shared_ptr<model::DecoderPlan> plan, ViewF out,
+    std::uint64_t deadline_us) {
+  const auto submitted = Clock::now();
+  std::promise<Status> done;
+  std::future<Status> result = done.get_future();
+  if (plan == nullptr) {
+    done.set_value(Status::InvalidArgument("decoder plan shared_ptr is null"));
+    return result;
+  }
+  if (A.rows() != 1) {
+    done.set_value(Status::InvalidArgument(
+        "submit_decode takes exactly one token row per sequence step"));
+    return result;
+  }
+  if (A.cols() != plan->hidden()) {
+    std::ostringstream os;
+    os << "A depth " << A.cols() << " != decoder hidden " << plan->hidden();
+    done.set_value(Status::InvalidArgument(os.str()));
+    return result;
+  }
+  if (out.rows() != 1 || out.cols() != plan->hidden()) {
+    std::ostringstream os;
+    os << "out is " << out.rows() << "x" << out.cols() << " but must be 1x"
+       << plan->hidden();
+    done.set_value(Status::InvalidArgument(os.str()));
+    return result;
+  }
+  GroupKey key{plan.get(), TargetKind::kDecode, SpmmOptions{}};
+  return enqueue(std::move(key), nullptr, nullptr, std::move(plan), A, out,
+                 deadline_us, submitted, std::move(done), std::move(result),
+                 seq_id);
 }
 
 std::future<Status> Server::enqueue(GroupKey key,
                                     std::shared_ptr<const CompressedNM>
                                         weights,
                                     std::shared_ptr<model::ModelPlan> plan,
+                                    std::shared_ptr<model::DecoderPlan> decode,
                                     ConstViewF A, ViewF C,
                                     std::uint64_t deadline_us,
                                     Clock::time_point submitted,
                                     std::promise<Status> done,
-                                    std::future<Status> result) {
+                                    std::future<Status> result,
+                                    std::uint64_t seq_id) {
   Shard& shard = shard_of(key.target);
   if (stop_.load(std::memory_order_seq_cst)) {
     done.set_value(Status::Unavailable("server is shut down"));
@@ -322,6 +359,7 @@ std::future<Status> Server::enqueue(GroupKey key,
         slot = std::make_shared<Group>();
         slot->weights = weights;
         slot->ffn_plan = plan;
+        slot->decode_plan = decode;
         if (options_.telemetry) {
           slot->telemetry = std::make_shared<serve::Telemetry>();
         }
@@ -338,8 +376,24 @@ std::future<Status> Server::enqueue(GroupKey key,
     shard.totals.rows.fetch_add(1, std::memory_order_relaxed);
     shard.totals.bypassed.fetch_add(1, std::memory_order_relaxed);
     const auto exec_start = Clock::now();
-    const Status status = key.ffn ? g.ffn_plan->run(A, C)
-                                  : engine_.spmm(A, g.weights, C, key.options);
+    Status status;
+    switch (key.kind) {
+      case TargetKind::kFfn:
+        status = g.ffn_plan->run(A, C);
+        break;
+      case TargetKind::kDecode: {
+        // DecoderPlan serializes internally, so bypassing while the
+        // dispatcher later batches the same plan is safe. Per-sequence
+        // failures surface through the single row's status.
+        Status row;
+        status = g.decode_plan->decode(A, &seq_id, C, &row);
+        if (status.ok()) status = row;
+        break;
+      }
+      case TargetKind::kSpmm:
+        status = engine_.spmm(A, g.weights, C, key.options);
+        break;
+    }
     const auto resolved = Clock::now();
     const bool violated =
         deadline_us != 0 && resolved > deadline_from(submitted, deadline_us);
@@ -443,8 +497,10 @@ std::future<Status> Server::enqueue(GroupKey key,
   msg.key = std::move(key);
   msg.weights = std::move(weights);
   msg.ffn_plan = std::move(plan);
-  msg.request = BatchRequest{A, C, std::move(done), submitted, Clock::now(),
-                             deadline_from(submitted, deadline_us), trace_id};
+  msg.decode_plan = std::move(decode);
+  msg.request =
+      BatchRequest{A, C, std::move(done), submitted, Clock::now(),
+                   deadline_from(submitted, deadline_us), trace_id, seq_id};
   // Undo the publish-protocol counters on any abort below (the request
   // never reaches the ring, so nothing downstream will release them).
   auto release = [&] {
@@ -515,6 +571,10 @@ index_t Server::group_row_budget(const Group& group) const {
     return std::min(options_.max_batch_rows,
                     group.ffn_plan->planned_tokens());
   }
+  if (group.decode_plan != nullptr) {
+    return std::min(options_.max_batch_rows,
+                    group.decode_plan->planned_tokens());
+  }
   return options_.max_batch_rows;
 }
 
@@ -532,6 +592,7 @@ std::size_t Server::drain_ring(Shard& shard, std::uint64_t& drained,
       slot = std::make_shared<Group>();
       slot->weights = std::move(m.weights);
       slot->ffn_plan = std::move(m.ffn_plan);
+      slot->decode_plan = std::move(m.decode_plan);
       if (options_.telemetry) {
         slot->telemetry = std::make_shared<serve::Telemetry>();
       }
@@ -702,9 +763,10 @@ void Server::trace_request(const Shard& shard, const PendingBatch& batch,
                            Clock::time_point exec_end,
                            Clock::time_point resolved) const {
   const Group& g = *batch.group;
-  const void* target = g.ffn_plan != nullptr
-                           ? static_cast<const void*>(g.ffn_plan.get())
-                           : static_cast<const void*>(g.weights.get());
+  const void* target =
+      g.decode_plan != nullptr ? static_cast<const void*>(g.decode_plan.get())
+      : g.ffn_plan != nullptr  ? static_cast<const void*>(g.ffn_plan.get())
+                               : static_cast<const void*>(g.weights.get());
   obs::TraceSpan span;
   span.trace_id = r.trace_id;
   span.target =
@@ -732,6 +794,7 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
                            StagingMap& staging) {
   Group& g = *batch.group;
   const bool ffn = g.ffn_plan != nullptr;
+  const bool decode = g.decode_plan != nullptr;
   // Chaos hook: per-shard artificial execute latency (no-op by default).
   NMSPMM_FAULT_EXECUTE_DELAY();
 
@@ -741,10 +804,16 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
     BatchRequest& r = batch.requests.front();
     const std::uint64_t repacks_before = obs::repack_events();
     const auto exec_start = Clock::now();
-    const Status status = ffn
-                              ? g.ffn_plan->run(r.a, r.c)
-                              : engine_.spmm(r.a, g.weights, r.c,
-                                             batch.options);
+    Status status;
+    if (decode) {
+      Status row;
+      status = g.decode_plan->decode(r.a, &r.seq_id, r.c, &row);
+      if (status.ok()) status = row;
+    } else if (ffn) {
+      status = g.ffn_plan->run(r.a, r.c);
+    } else {
+      status = engine_.spmm(r.a, g.weights, r.c, batch.options);
+    }
     batch.exec_repacks = obs::repack_events() - repacks_before;
     resolve_request(shard, batch, r, exec_start, Clock::now(), status);
     return status;
@@ -756,7 +825,7 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
   // a serial lane).
   ThreadPool* pool = engine_.pool();
   bool split = false;
-  if (!ffn && pool != nullptr && pool->size() > 1) {
+  if (!ffn && !decode && pool != nullptr && pool->size() > 1) {
     switch (options_.execute_policy) {
       case ExecutePolicy::kCoalesce:
         break;
@@ -776,10 +845,15 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
   }
   if (split) return serve_batch_split(shard, batch);
 
-  const index_t k = ffn ? g.ffn_plan->hidden_in() : g.weights->orig_rows;
-  const index_t n = ffn ? g.ffn_plan->hidden_out() : g.weights->cols;
-  const void* target = ffn ? static_cast<const void*>(g.ffn_plan.get())
-                           : static_cast<const void*>(g.weights.get());
+  const index_t k = decode ? g.decode_plan->hidden()
+                   : ffn   ? g.ffn_plan->hidden_in()
+                           : g.weights->orig_rows;
+  const index_t n = decode ? g.decode_plan->hidden()
+                   : ffn   ? g.ffn_plan->hidden_out()
+                           : g.weights->cols;
+  const void* target = decode ? static_cast<const void*>(g.decode_plan.get())
+                       : ffn  ? static_cast<const void*>(g.ffn_plan.get())
+                              : static_cast<const void*>(g.weights.get());
   const index_t capacity = std::max(batch.rows, options_.max_batch_rows);
   // Bound dispatcher memory before it grows: a trip here unwinds into
   // the dispatcher's exception guard, failing this batch with
@@ -815,6 +889,34 @@ Status Server::serve_batch(Shard& shard, PendingBatch& batch,
   const ViewF c_view = st.c.view().block(0, 0, batch.rows, n);
   const std::uint64_t repacks_before = obs::repack_events();
   const auto exec_start = Clock::now();
+  if (decode) {
+    // Decode coalescing: one DecoderPlan::decode call batches the QKV
+    // and output projections across every pending sequence. Each
+    // request is exactly one token row (submit_decode enforces it), so
+    // request i is staged row i. A per-sequence failure fails that
+    // request alone; the rest of the batch still lands.
+    std::vector<std::uint64_t> seq_ids(batch.requests.size());
+    std::vector<Status> row_status(batch.requests.size());
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+      seq_ids[i] = batch.requests[i].seq_id;
+    }
+    const Status status = g.decode_plan->decode(a_view, seq_ids.data(),
+                                                c_view, row_status.data());
+    const auto exec_end = Clock::now();
+    batch.exec_repacks = obs::repack_events() - repacks_before;
+    Status worst = status;
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+      BatchRequest& r = batch.requests[i];
+      const Status rs = status.ok() ? row_status[i] : status;
+      if (rs.ok()) {
+        std::copy_n(c_view.row(static_cast<index_t>(i)), n, r.c.row(0));
+      } else if (worst.ok()) {
+        worst = rs;
+      }
+      resolve_request(shard, batch, r, exec_start, exec_end, rs);
+    }
+    return worst;
+  }
   const Status status = ffn ? g.ffn_plan->run(a_view, c_view)
                             : engine_.spmm(a_view, g.weights, c_view,
                                            batch.options);
@@ -1098,6 +1200,11 @@ Server::GroupStats Server::model_stats(const model::ModelPlan* plan) const {
   return target_stats(plan);
 }
 
+Server::GroupStats Server::decode_stats(
+    const model::DecoderPlan* plan) const {
+  return target_stats(plan);
+}
+
 serve::TelemetrySnapshot Server::weights_latency(
     const CompressedNM* weights) const {
   return target_latency(weights);
@@ -1105,6 +1212,11 @@ serve::TelemetrySnapshot Server::weights_latency(
 
 serve::TelemetrySnapshot Server::model_latency(
     const model::ModelPlan* plan) const {
+  return target_latency(plan);
+}
+
+serve::TelemetrySnapshot Server::decode_latency(
+    const model::DecoderPlan* plan) const {
   return target_latency(plan);
 }
 

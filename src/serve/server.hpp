@@ -48,6 +48,13 @@
 // pays one pass over all three projection weight matrices instead of one
 // per request (src/model/ffn.hpp). FFN batches always coalesce (a
 // ModelPlan binds its own pool; serial split lanes cannot ride it).
+// Full decoder-layer steps batch through submit_decode(): concurrent
+// 1-row token submissions against one model::DecoderPlan gather into a
+// single DecoderPlan::decode — the QKV / output / FFN projections run
+// batched, attention runs per sequence between them, and each request
+// resolves with its own per-sequence status (NOT_FOUND for an unknown
+// sequence, retryable RESOURCE_EXHAUSTED when the KV budget is spent),
+// so one bad sequence never fails its batchmates.
 //
 // Two latency escapes keep the common cases fast and the process alive:
 //  - Single-row bypass: when a 1-row submit() arrives and its shard is
@@ -99,6 +106,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "model/decoder.hpp"
 #include "model/ffn.hpp"
 #include "obs/trace.hpp"
 #include "serve/batch_queue.hpp"
@@ -270,6 +278,22 @@ class Server {
                                  std::shared_ptr<model::ModelPlan> plan,
                                  ViewF out, std::uint64_t deadline_us = 0);
 
+  /// Enqueue one decoder-layer decode step for @p seq_id against
+  /// @p plan (built by Engine::plan_decoder): A is exactly one token
+  /// row, out (1 x hidden) receives the layer output. Concurrent
+  /// submissions against the same plan coalesce into one
+  /// DecoderPlan::decode over the gathered rows — the SpMM projections
+  /// batch across sequences, attention runs per sequence between them.
+  /// The future resolves with the request's *own* status: NOT_FOUND
+  /// for a sequence never begun, RESOURCE_EXHAUSTED (retryable — back
+  /// off and retry once sequences free, serve::RetryPolicy) when the
+  /// plan's KV budget is spent. Sequence lifecycle goes through the
+  /// plan directly (DecoderPlan::begin_sequence / free_sequence; both
+  /// thread-safe).
+  std::future<Status> submit_decode(std::uint64_t seq_id, ConstViewF A,
+                                    std::shared_ptr<model::DecoderPlan> plan,
+                                    ViewF out, std::uint64_t deadline_us = 0);
+
   /// Stop accepting requests, serve everything already queued, and join
   /// every shard dispatcher. Idempotent; the destructor calls it.
   void shutdown();
@@ -329,6 +353,8 @@ class Server {
   [[nodiscard]] GroupStats weights_stats(const CompressedNM* weights) const;
   /// As weights_stats, for the FFN groups serving @p plan.
   [[nodiscard]] GroupStats model_stats(const model::ModelPlan* plan) const;
+  /// As weights_stats, for the decode groups serving @p plan.
+  [[nodiscard]] GroupStats decode_stats(const model::DecoderPlan* plan) const;
   /// Latency snapshot of the *live* groups serving @p weights (any
   /// options); evicted groups' samples only survive in stats().latency.
   [[nodiscard]] serve::TelemetrySnapshot weights_latency(
@@ -336,6 +362,9 @@ class Server {
   /// As weights_latency, for the FFN groups serving @p plan.
   [[nodiscard]] serve::TelemetrySnapshot model_latency(
       const model::ModelPlan* plan) const;
+  /// As weights_latency, for the decode groups serving @p plan.
+  [[nodiscard]] serve::TelemetrySnapshot decode_latency(
+      const model::DecoderPlan* plan) const;
 
   /// Write every retained trace span as Chrome trace-event JSON (load
   /// the file in chrome://tracing or ui.perfetto.dev). FAILED_PRECONDITION
@@ -355,13 +384,20 @@ class Server {
  private:
   using Clock = BatchQueue::Clock;
 
+  /// What a group's one-execution-serves-all target is: a plain weight
+  /// matrix, a fused-FFN ModelPlan, or a decoder-layer DecoderPlan.
+  enum class TargetKind : std::uint8_t {
+    kSpmm = 0,
+    kFfn,
+    kDecode,
+  };
   /// Requests batch together only when one execution can serve them all:
-  /// plain SpMM requests must agree on weights and options; FFN requests
-  /// must agree on the ModelPlan (which fixes everything else).
+  /// plain SpMM requests must agree on weights and options; FFN / decode
+  /// requests must agree on the plan (which fixes everything else).
   struct GroupKey {
-    const void* target = nullptr;  ///< CompressedNM* or model::ModelPlan*
-    bool ffn = false;
-    SpmmOptions options;  ///< default-constructed for FFN groups
+    const void* target = nullptr;  ///< CompressedNM* or plan pointer
+    TargetKind kind = TargetKind::kSpmm;
+    SpmmOptions options;  ///< default-constructed for plan groups
 
     friend bool operator==(const GroupKey&, const GroupKey&) = default;
   };
@@ -390,8 +426,9 @@ class Server {
     void count_flush(FlushReason reason);
   };
   struct Group {
-    std::shared_ptr<const CompressedNM> weights;  ///< plain groups
-    std::shared_ptr<model::ModelPlan> ffn_plan;   ///< FFN groups
+    std::shared_ptr<const CompressedNM> weights;     ///< plain groups
+    std::shared_ptr<model::ModelPlan> ffn_plan;      ///< FFN groups
+    std::shared_ptr<model::DecoderPlan> decode_plan; ///< decode groups
     /// Pending requests. Only touched under the owning shard's mutex
     /// (dispatcher drain/flush, bypass idle checks never read it).
     BatchQueue queue;
@@ -412,6 +449,7 @@ class Server {
     GroupKey key;
     std::shared_ptr<const CompressedNM> weights;
     std::shared_ptr<model::ModelPlan> ffn_plan;
+    std::shared_ptr<model::DecoderPlan> decode_plan;
     BatchRequest request;
   };
   /// A popped batch, ready to execute outside the lock. Holds shared
@@ -517,11 +555,13 @@ class Server {
   std::future<Status> enqueue(GroupKey key,
                               std::shared_ptr<const CompressedNM> weights,
                               std::shared_ptr<model::ModelPlan> plan,
+                              std::shared_ptr<model::DecoderPlan> decode,
                               ConstViewF A, ViewF C,
                               std::uint64_t deadline_us,
                               Clock::time_point submitted,
                               std::promise<Status> done,
-                              std::future<Status> result);
+                              std::future<Status> result,
+                              std::uint64_t seq_id = 0);
 
   void dispatcher_loop(Shard& shard);
   /// Pop every published ring message into its group's queue (creating

@@ -20,6 +20,19 @@ constexpr LlamaModel kModels[] = {
 
 }  // namespace
 
+std::vector<AttnShape> llama_attn_shapes() {
+  // head_dim 128 across the family; the first four are the MHA models
+  // of kModels (n_heads = hidden / 128), the last a 70B-class GQA
+  // geometry (8 KV heads serving 64 query heads, the 8x cache shrink).
+  return {
+      {"7B", 4096, 11008, 32, 32, 128, 10000.0f},
+      {"13B", 5120, 13824, 40, 40, 128, 10000.0f},
+      {"30B", 6656, 17920, 52, 52, 128, 10000.0f},
+      {"65B", 8192, 22016, 64, 64, 128, 10000.0f},
+      {"70B-gqa", 8192, 28672, 64, 8, 128, 10000.0f},
+  };
+}
+
 std::vector<ProblemShape> llama_layer_tuples() {
   std::vector<ProblemShape> tuples;
   for (const auto& model : kModels) {

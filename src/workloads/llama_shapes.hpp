@@ -25,6 +25,30 @@ struct ProblemShape {
   }
 };
 
+/// Attention geometry of one decoder layer — the decode-path companion
+/// of the (n, k) projection tuples. n_kv_heads < n_heads marks a
+/// grouped-query (GQA) model whose KV cache shrinks by the group
+/// factor n_heads / n_kv_heads.
+struct AttnShape {
+  std::string model;
+  index_t hidden = 0;
+  index_t ffn = 0;
+  index_t n_heads = 0;
+  index_t n_kv_heads = 0;
+  index_t head_dim = 0;
+  float rope_theta = 10000.0f;
+
+  [[nodiscard]] index_t q_dim() const { return n_heads * head_dim; }
+  [[nodiscard]] index_t kv_dim() const { return n_kv_heads * head_dim; }
+  /// K+V floats cached per decoded token.
+  [[nodiscard]] index_t kv_token_floats() const { return 2 * kv_dim(); }
+};
+
+/// Decoder-layer attention geometry of the Llama family: the four MHA
+/// models behind llama_layer_tuples(), plus a 70B-class GQA entry
+/// (64 query heads over 8 KV heads) exercising the grouped cache.
+std::vector<AttnShape> llama_attn_shapes();
+
 /// The 20 (n, k) tuples: 4 Llama models x 5 linear-layer roles.
 std::vector<ProblemShape> llama_layer_tuples();
 
